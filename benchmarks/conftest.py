@@ -1,0 +1,24 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the rows/series it reports.  pytest-benchmark measures the wall
+time of the regeneration; the assertions check the *shape* targets listed
+in DESIGN.md §4 (who wins, roughly by how much, where crossovers fall).
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+Full-size: REPRO_EVAL_SCALE=paper pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks which paper figure/table a "
+        "benchmark regenerates")
+
+
+@pytest.fixture(scope="session")
+def results_dir(tmp_path_factory):
+    """Directory where benchmarks drop their JSON payloads."""
+    return tmp_path_factory.mktemp("results")

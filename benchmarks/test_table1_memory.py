@@ -1,0 +1,74 @@
+"""Table 1 / §4 — switch memory overhead of Themis.
+
+Regenerates the analytical memory budget with Table 1's reference values
+and prints the §4 walkthrough (PathMap bytes, per-QP bytes, total, SRAM
+fraction).  Paper headline: M_total ≈ 193 KB on a 64 MB Tofino.
+"""
+
+import pytest
+
+from repro.harness.report import format_table, percent
+from repro.themis.memory import (MemoryParams, TOFINO_SRAM_BYTES,
+                                 memory_overhead)
+
+
+def _table1_rows():
+    params = MemoryParams()
+    breakdown = memory_overhead(params)
+    rows = [
+        ("N_paths (equal-cost paths)", params.n_paths),
+        ("BW (last-hop bandwidth)", f"{params.bandwidth_bps/1e9:.0f} Gbps"),
+        ("RTT_last (last-hop RTT)", f"{params.rtt_last_s*1e6:.0f} us"),
+        ("N_NIC (NICs per ToR)", params.n_nic),
+        ("N_QP (cross-rack QPs per RNIC)", params.n_qp),
+        ("MTU", f"{params.mtu_bytes} B"),
+        ("F (queue expansion factor)", params.expansion_factor),
+    ]
+    return params, breakdown, rows
+
+
+@pytest.mark.figure("table1")
+def test_table1_memory_overhead(benchmark):
+    params, breakdown, rows = benchmark.pedantic(_table1_rows, rounds=1,
+                                                 iterations=1)
+    print("\n=== Table 1: symbols and reference values ===")
+    print(format_table(["symbol", "reference value"], rows))
+
+    print("\n=== Eq. 4 memory budget ===")
+    print(format_table(["component", "bytes"], [
+        ("M_PathMap", breakdown.pathmap_bytes),
+        ("ring queue entries per QP", breakdown.queue_entries),
+        ("M_QP (flow entry + queue)", breakdown.per_qp_bytes),
+        ("M_total", breakdown.total_bytes),
+    ]))
+    frac = breakdown.sram_fraction(TOFINO_SRAM_BYTES)
+    print(f"M_total = {breakdown.total_kb():.1f} KB "
+          f"({percent(frac)} of 64 MB SRAM)  "
+          f"[paper: ~193 KB; quotes 0.6%, Eq. 4 arithmetic gives ~0.3%]")
+
+    assert breakdown.queue_entries == 100
+    assert breakdown.per_qp_bytes == 120
+    assert breakdown.total_bytes == 192_512          # ≈ 193 KB
+    assert frac < 0.01
+
+
+@pytest.mark.figure("table1")
+def test_memory_scaling_sweep(benchmark):
+    """Extension: how the budget scales with fabric size (not in paper,
+    but the deployment question §4 is answering)."""
+
+    def sweep():
+        rows = []
+        for n_nic in (16, 32, 64):
+            for n_qp in (50, 100, 200):
+                total = memory_overhead(
+                    MemoryParams(n_nic=n_nic, n_qp=n_qp)).total_bytes
+                rows.append((n_nic, n_qp, f"{total/1000:.0f} KB",
+                             percent(total / TOFINO_SRAM_BYTES)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\n=== Memory scaling (N_NIC x N_QP) ===")
+    print(format_table(["N_NIC", "N_QP", "M_total", "SRAM %"], rows))
+    # Even the largest point stays far under the SRAM budget.
+    assert all(float(r[2].split()[0]) < 2000 for r in rows)

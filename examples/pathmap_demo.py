@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""PathMap construction on a 3-tier fat-tree (§3.2, Fig. 3).
+
+In multi-tier fabrics the source ToR cannot pick the whole path directly;
+Themis-S instead rewrites the UDP source port through a precomputed
+PathMap, exploiting ECMP hash linearity so that every downstream hop's
+hashed choice becomes a deterministic function of ``PSN mod N``.
+
+This script builds a k=4 fat-tree, constructs the PathMap for one
+cross-pod flow, prints the delta table, and verifies the property Themis-D
+depends on: equal residue => identical fabric path.
+
+Run:  python examples/pathmap_demo.py
+"""
+
+from repro.harness.network import Network, NetworkConfig, TopologySpec
+from repro.harness.report import format_table
+from repro.net.packet import FlowKey
+from repro.themis.pathmap import apply_pathmap, build_pathmap, trace_path
+
+
+def main() -> None:
+    net = Network(NetworkConfig(
+        topology=TopologySpec(kind="fat_tree", fat_tree_k=4,
+                              link_bandwidth_bps=25e9),
+        scheme="ecmp"))
+    topo = net.topology
+
+    flow = FlowKey(0, 15)           # pod 0 -> pod 3 (cross-pod)
+    base_sport = 4242
+    n_paths = topo.path_count(*
+                              (flow.src, flow.dst))
+    print(f"Flow {flow}: {n_paths} equal-cost paths "
+          f"(k=4 fat-tree, cross-pod => (k/2)^2)")
+
+    deltas = build_pathmap(topo, flow, base_sport, n_paths)
+    print("\nPathMap (Fig. 3): residue r -> sport delta")
+    rows = []
+    for r, delta in enumerate(deltas):
+        sport = base_sport ^ delta
+        path = " -> ".join(trace_path(topo, flow, sport))
+        rows.append([r, f"0x{delta:04x}", sport, path])
+    print(format_table(["PSN mod N", "delta", "sport'", "fabric path"],
+                       rows))
+
+    print("\nVerification over PSNs 0..19 (same residue => same path):")
+    seen = {}
+    for psn in range(20):
+        sport = apply_pathmap(deltas, base_sport, psn)
+        path = trace_path(topo, flow, sport)
+        residue = psn % n_paths
+        if residue in seen:
+            assert seen[residue] == path, "determinism violated!"
+        seen[residue] = path
+        print(f"  PSN {psn:2d} (mod {n_paths} = {residue}) -> "
+              f"{path[2]}")   # the core switch identifies the path
+    print("\nOK: every residue class pinned to one core switch; "
+          f"{len(set(map(tuple, seen.values())))} distinct paths used.")
+
+    # Memory cost of this PathMap (§4):
+    print(f"\nPathMap memory: {n_paths} entries x 2 B = {n_paths * 2} B")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — Themis: packet spraying over commodity RNICs, reproduced.
+
+A packet-level discrete-event simulation of the full system described in
+"Enabling Packet Spraying over Commodity RNICs with In-Network Support":
+the commodity RNIC model (NIC-SR / Go-Back-N reliable transports, DCQCN),
+a Clos fabric with pluggable load balancing, and the Themis ToR middleware
+(PSN-based spraying, NACK validation, NACK compensation).
+
+Quickstart::
+
+    from repro import Network, NetworkConfig, TopologySpec
+
+    config = NetworkConfig(
+        topology=TopologySpec(num_tors=4, num_spines=4, nics_per_tor=2),
+        scheme="themis")
+    net = Network(config)
+    net.post_message(src=0, dst=2, nbytes=1_000_000)
+    net.run()
+    print(net.metrics.summary())
+"""
+
+from repro.cc import Dcqcn, DcqcnConfig, FixedRate
+from repro.collectives import (AllToAll, HalvingDoublingAllreduce,
+                               RingAllgather, RingAllreduce,
+                               RingReduceScatter, TrainingJob,
+                               cross_rack_groups, interleaved_ring_groups)
+from repro.harness import (DCQCN_SWEEP, CollectiveRunResult, EvalScale,
+                           Metrics, MotivationResult, Network,
+                           NetworkConfig, SweepResult, TopologySpec,
+                           fig5_config, motivation_config, run_collective,
+                           run_fig1d_comparison, run_fig5_sweep,
+                           run_motivation)
+from repro.net import FlowKey, Packet, PacketType
+from repro.rnic import Rnic, RnicConfig
+from repro.switch import EcnConfig
+from repro.themis import (MemoryParams, ThemisConfig, memory_overhead,
+                          build_pathmap)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Network", "NetworkConfig", "TopologySpec", "Metrics",
+    "ThemisConfig", "memory_overhead", "MemoryParams", "build_pathmap",
+    "Dcqcn", "DcqcnConfig", "FixedRate", "EcnConfig",
+    "Rnic", "RnicConfig", "FlowKey", "Packet", "PacketType",
+    "RingAllreduce", "RingAllgather", "RingReduceScatter", "AllToAll",
+    "HalvingDoublingAllreduce", "TrainingJob",
+    "cross_rack_groups", "interleaved_ring_groups",
+    "run_motivation", "motivation_config", "run_fig1d_comparison",
+    "MotivationResult", "run_collective", "CollectiveRunResult",
+    "fig5_config", "EvalScale", "run_fig5_sweep", "SweepResult",
+    "DCQCN_SWEEP",
+    "__version__",
+]

@@ -1,0 +1,227 @@
+"""DCQCN rate control (Zhu et al., SIGCOMM'15) as RNICs implement it.
+
+The reaction point (sender) keeps a current rate ``Rc``, target rate ``Rt``
+and congestion estimate ``alpha``:
+
+* **Decrease** — on a CNP (or, on commodity RNICs, a NACK): at most once
+  per *rate decrease interval* ``TD``::
+
+      Rt <- Rc;  Rc <- Rc * (1 - alpha/2);  alpha <- (1-g)*alpha + g
+
+  and the recovery state machine resets — this reset is the "slow start"
+  the paper's Fig. 1c shows being triggered spuriously.
+* **Increase** — every *rate increase timer* ``TI`` after the last
+  decrease: ``F`` rounds of fast recovery (``Rc <- (Rc+Rt)/2``), then
+  additive increase (``Rt += Rai``), then hyper increase (``Rt += Rhai``).
+* **Alpha decay** — every ``alpha_timer`` without a decrease:
+  ``alpha <- (1-g)*alpha``.
+
+The (TI, TD) pair is exactly the knob swept in Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.cc.base import CongestionControl
+from repro.sim.engine import US, Simulator
+from repro.sim.events import Event
+from repro.sim.trace import TimeSeries
+
+
+@dataclass(frozen=True)
+class DcqcnConfig:
+    """DCQCN parameters.
+
+    ``ti_ns``/``td_ns`` default to the recommended configuration the paper
+    sweeps first: TI = 900 us, TD = 4 us.  Increase steps scale with line
+    rate so one config works across 100G and 400G experiments.
+    """
+
+    ti_ns: int = 900 * US
+    td_ns: int = 4 * US
+    alpha_g: float = 1.0 / 256.0
+    alpha_timer_ns: int = 55 * US
+    fast_recovery_rounds: int = 5
+    hyper_after_rounds: int = 5
+    rate_ai_fraction: float = 0.005    # Rai = 0.5% of line rate
+    rate_hai_fraction: float = 0.05    # Rhai = 5% of line rate
+    min_rate_fraction: float = 0.002   # floor = 0.2% of line rate
+    nack_triggers_decrease: bool = True
+    timeout_drops_to_min: bool = True
+    #: DCQCN's byte counter B: every B transmitted bytes also trigger an
+    #: increase event (the spec's second increase clock).  ``None``
+    #: disables it, leaving the timer as the only increase driver.
+    byte_counter_bytes: int | None = None
+
+    def with_timers(self, ti_us: float, td_us: float) -> "DcqcnConfig":
+        """Convenience for the Fig. 5 (TI, TD) sweep, arguments in us."""
+        return replace(self, ti_ns=int(ti_us * US), td_ns=int(td_us * US))
+
+
+class Dcqcn(CongestionControl):
+    """Per-QP DCQCN reaction point."""
+
+    def __init__(self, sim: Simulator, line_rate_bps: float,
+                 config: DcqcnConfig,
+                 rate_trace: Optional[TimeSeries] = None) -> None:
+        super().__init__(sim, line_rate_bps)
+        self.config = config
+        self.rate_current = float(line_rate_bps)
+        self.rate_target = float(line_rate_bps)
+        self.alpha = 1.0
+        self.min_rate_bps = line_rate_bps * config.min_rate_fraction
+        self.rate_ai_bps = line_rate_bps * config.rate_ai_fraction
+        self.rate_hai_bps = line_rate_bps * config.rate_hai_fraction
+
+        self._last_decrease_ns: Optional[int] = None
+        self._increase_stage = 0       # timer-driven stage counter
+        self._byte_stage = 0           # byte-counter stage counter
+        self._bytes_acc = 0
+        self._increase_event: Optional[Event] = None
+        self._alpha_event: Optional[Event] = None
+
+        self.rate_trace = rate_trace
+        self.decreases = 0
+        self.increases = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def rate_bps(self) -> float:
+        return self.rate_current
+
+    def _set_rate(self, rate: float) -> None:
+        self.rate_current = min(self.line_rate_bps,
+                                max(self.min_rate_bps, rate))
+        if self.rate_trace is not None:
+            self.rate_trace.record(self.sim.now, self.rate_current)
+
+    # ------------------------------------------------------------------
+    # Decrease path
+    # ------------------------------------------------------------------
+    def on_cnp(self) -> None:
+        self._restart_alpha_timer()
+        self.alpha = (1 - self.config.alpha_g) * self.alpha \
+            + self.config.alpha_g
+        self._maybe_decrease()
+
+    def on_nack(self) -> None:
+        # Commodity RNICs couple loss signals into the rate machinery:
+        # a NACK triggers the same decrease + recovery reset as a CNP.
+        # Unlike a CNP it does not update alpha (alpha estimates *ECN*
+        # congestion), so during a NACK storm the cuts get shallower as
+        # alpha decays — matching the bounded sawtooth of Fig. 1c.
+        if self.config.nack_triggers_decrease:
+            self._maybe_decrease()
+
+    def on_timeout(self) -> None:
+        if self.config.timeout_drops_to_min:
+            self.rate_target = self.rate_current
+            self._set_rate(self.min_rate_bps)
+            self._reset_recovery()
+
+    def _maybe_decrease(self) -> None:
+        now = self.sim.now
+        if (self._last_decrease_ns is not None
+                and now - self._last_decrease_ns < self.config.td_ns):
+            return
+        self._last_decrease_ns = now
+        self.decreases += 1
+        self.rate_target = self.rate_current
+        self._set_rate(self.rate_current * (1 - self.alpha / 2))
+        self._reset_recovery()
+        self._restart_alpha_timer()
+
+    def _reset_recovery(self) -> None:
+        self._increase_stage = 0
+        self._byte_stage = 0
+        self._bytes_acc = 0
+        if self._increase_event is not None:
+            self._increase_event.cancel()
+        self._increase_event = self.sim.schedule(
+            self.config.ti_ns, self._increase_tick)
+
+    # ------------------------------------------------------------------
+    # Increase path
+    # ------------------------------------------------------------------
+    def _increase_tick(self) -> None:
+        self._increase_event = None
+        self._increase_stage += 1
+        self._do_increase()
+        if not self._fully_recovered():
+            self._increase_event = self.sim.schedule(
+                self.config.ti_ns, self._increase_tick)
+
+    def on_bytes_sent(self, nbytes: int) -> None:
+        """Byte-counter increase clock (DCQCN's second trigger)."""
+        if self.config.byte_counter_bytes is None:
+            return
+        if self._fully_recovered():
+            return
+        self._bytes_acc += nbytes
+        while self._bytes_acc >= self.config.byte_counter_bytes:
+            self._bytes_acc -= self.config.byte_counter_bytes
+            self._byte_stage += 1
+            self._do_increase()
+
+    def _do_increase(self) -> None:
+        cfg = self.config
+        self.increases += 1
+        if cfg.byte_counter_bytes is None:
+            # Timer-only operation: fast recovery for F rounds, then
+            # additive increase, hyper after a further H rounds.
+            stage = self._increase_stage
+            if stage > cfg.fast_recovery_rounds:
+                if stage > (cfg.fast_recovery_rounds
+                            + cfg.hyper_after_rounds):
+                    self.rate_target = min(
+                        self.line_rate_bps,
+                        self.rate_target + self.rate_hai_bps)
+                else:
+                    self.rate_target = min(
+                        self.line_rate_bps,
+                        self.rate_target + self.rate_ai_bps)
+        else:
+            # Dual-clock operation per the DCQCN spec: fast recovery
+            # while neither counter passed F, hyper once both did,
+            # additive in between.
+            ft, fb = self._increase_stage, self._byte_stage
+            if min(ft, fb) > cfg.fast_recovery_rounds:
+                self.rate_target = min(self.line_rate_bps,
+                                       self.rate_target + self.rate_hai_bps)
+            elif max(ft, fb) > cfg.fast_recovery_rounds:
+                self.rate_target = min(self.line_rate_bps,
+                                       self.rate_target + self.rate_ai_bps)
+        self._set_rate((self.rate_current + self.rate_target) / 2)
+
+    def _fully_recovered(self) -> bool:
+        return (self.rate_current >= self.line_rate_bps * 0.999
+                and self.rate_target >= self.line_rate_bps)
+
+    # ------------------------------------------------------------------
+    # Alpha decay
+    # ------------------------------------------------------------------
+    def _restart_alpha_timer(self) -> None:
+        if self._alpha_event is not None:
+            self._alpha_event.cancel()
+        self._alpha_event = self.sim.schedule(
+            self.config.alpha_timer_ns, self._alpha_tick)
+
+    def _alpha_tick(self) -> None:
+        self._alpha_event = None
+        self.alpha *= (1 - self.config.alpha_g)
+        # Below ~0.005 a decrease changes the rate by <0.25%; park the
+        # timer (the next CNP/decrease restarts it) so idle QPs quiesce.
+        if self.alpha > 5e-3:
+            self._alpha_event = self.sim.schedule(
+                self.config.alpha_timer_ns, self._alpha_tick)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        if self._increase_event is not None:
+            self._increase_event.cancel()
+            self._increase_event = None
+        if self._alpha_event is not None:
+            self._alpha_event.cancel()
+            self._alpha_event = None

@@ -1,0 +1,24 @@
+"""Collective communication workloads (ring collectives, alltoall)."""
+
+from repro.collectives.alltoall import AllToAll
+from repro.collectives.group import (Collective, cross_rack_groups,
+                                     interleaved_ring_groups)
+from repro.collectives.halving_doubling import HalvingDoublingAllreduce
+from repro.collectives.ring import (RingAllgather, RingAllreduce,
+                                    RingCollective, RingReduceScatter)
+from repro.collectives.training import TrainingJob
+
+COLLECTIVE_CLASSES = {
+    "allreduce": RingAllreduce,
+    "allgather": RingAllgather,
+    "reducescatter": RingReduceScatter,
+    "alltoall": AllToAll,
+    "hd_allreduce": HalvingDoublingAllreduce,
+}
+
+__all__ = [
+    "Collective", "RingCollective", "RingAllreduce", "RingAllgather",
+    "RingReduceScatter", "AllToAll", "HalvingDoublingAllreduce",
+    "TrainingJob", "COLLECTIVE_CLASSES",
+    "cross_rack_groups", "interleaved_ring_groups",
+]

@@ -1,0 +1,34 @@
+"""Configuration for the ConWeave-style in-network reordering baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import US
+
+
+@dataclass(frozen=True)
+class ConweaveConfig:
+    """Knobs of the §2.3 related-work baseline.
+
+    ``reorder_timeout_ns`` bounds how long a buffered out-of-order packet
+    may wait for its predecessors before the buffer gives up and flushes
+    in PSN order (ConWeave's ordering timeout).  ``buffer_packets`` is
+    the per-QP reordering capacity — the scarce ToR resource the paper
+    argues makes packet-level LB infeasible for this approach.
+    ``flip_interval_ns`` is how often the source ToR reroutes a flow
+    (ConWeave reroutes on congestion; a periodic flip models the steady
+    rerouting rate while keeping at most two paths live at once).
+    """
+
+    reorder_timeout_ns: int = 100 * US
+    buffer_packets: int = 64
+    flip_interval_ns: int = 100 * US
+
+    def __post_init__(self) -> None:
+        if self.reorder_timeout_ns <= 0:
+            raise ValueError("reorder timeout must be positive")
+        if self.buffer_packets < 1:
+            raise ValueError("need at least one buffer slot")
+        if self.flip_interval_ns <= 0:
+            raise ValueError("flip interval must be positive")

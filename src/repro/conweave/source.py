@@ -1,0 +1,55 @@
+"""Flow-level rerouting at the source ToR (ConWeave-style).
+
+ConWeave [35] keeps each flow on one path and *reroutes* it when the
+path congests, so at most two paths carry a flow simultaneously (old +
+new during the transition).  We model the steady-state effect with a
+periodic reroute: every ``flip_interval_ns`` the flow moves to the
+currently least-loaded uplink.  Between flips packets stay perfectly
+ordered; each flip creates one bounded reordering episode — exactly the
+workload the destination-side reorder buffer is sized for.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.conweave.config import ConweaveConfig
+from repro.net.packet import FlowKey, Packet
+from repro.net.port import Port
+from repro.switch.switch import Middleware, Switch
+
+
+class RerouteSource(Middleware):
+    """Per-flow path pinning with periodic congestion-driven reroutes."""
+
+    def __init__(self, config: ConweaveConfig) -> None:
+        self.config = config
+        #: flow -> (candidate index, last flip time)
+        self._paths: dict[FlowKey, tuple[int, int]] = {}
+        self.reroutes = 0
+
+    def select_port(self, switch: Switch, packet: Packet,
+                    candidates: Sequence[Port]) -> Optional[Port]:
+        if not packet.is_data:
+            return None
+        if packet.flow.src not in switch.down_nics \
+                or packet.flow.dst in switch.down_nics:
+            return None
+        now = switch.sim.now
+        n = len(candidates)
+        state = self._paths.get(packet.flow)
+        if state is None:
+            index = min(range(n),
+                        key=lambda i: candidates[i].queued_bytes)
+            self._paths[packet.flow] = (index, now)
+        else:
+            index, flipped_at = state
+            if now - flipped_at >= self.config.flip_interval_ns:
+                best = min(range(n),
+                           key=lambda i: candidates[i].queued_bytes)
+                if best != index:
+                    index = best
+                    self.reroutes += 1
+                self._paths[packet.flow] = (index, now)
+        packet.path_index = index
+        return candidates[index]

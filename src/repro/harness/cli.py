@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the paper's experiments:
+
+* ``memory``      — Table 1 / §4 memory budget (instant).
+* ``motivation``  — the Fig. 1 study on one scheme/transport.
+* ``collective``  — one collective under one scheme + DCQCN config.
+* ``sweep``       — a full Fig. 5 panel.
+* ``pathmap``     — build and print a PathMap on a fat-tree (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.harness.collective_runner import (EvalScale, fig5_config,
+                                             run_collective)
+from repro.harness.motivation import motivation_config, run_motivation
+from repro.harness.network import SCHEMES, TRANSPORTS
+from repro.harness.report import format_table, percent, sparkline
+from repro.harness.sweep import DCQCN_SWEEP, run_fig5_sweep
+from repro.themis.memory import (MemoryParams, TOFINO_SRAM_BYTES,
+                                 memory_overhead)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Themis packet-spraying reproduction experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    mem = sub.add_parser("memory", help="Table 1 / §4 memory budget")
+    mem.add_argument("--n-paths", type=int, default=256)
+    mem.add_argument("--bandwidth-gbps", type=float, default=400.0)
+    mem.add_argument("--rtt-us", type=float, default=2.0)
+    mem.add_argument("--n-nic", type=int, default=16)
+    mem.add_argument("--n-qp", type=int, default=100)
+    mem.add_argument("--mtu", type=int, default=1500)
+    mem.add_argument("--factor", type=float, default=1.5)
+
+    mot = sub.add_parser("motivation", help="Fig. 1 motivation study")
+    mot.add_argument("--scheme", choices=SCHEMES, default="rps")
+    mot.add_argument("--transport", choices=TRANSPORTS, default="nic_sr")
+    mot.add_argument("--flow-bytes", type=int, default=4_000_000)
+    mot.add_argument("--seed", type=int, default=1)
+
+    col = sub.add_parser("collective", help="one §5 collective run")
+    col.add_argument("--collective", default="allreduce",
+                     choices=("allreduce", "allgather", "reducescatter",
+                              "alltoall", "hd_allreduce"))
+    col.add_argument("--scheme", choices=SCHEMES, default="themis")
+    col.add_argument("--ti-us", type=float, default=900.0)
+    col.add_argument("--td-us", type=float, default=4.0)
+    col.add_argument("--seed", type=int, default=1)
+    col.add_argument("--json", metavar="PATH", default=None,
+                     help="write the run summary as JSON")
+
+    swp = sub.add_parser("sweep", help="a full Fig. 5 panel")
+    swp.add_argument("--collective", default="allreduce",
+                     choices=("allreduce", "alltoall"))
+    swp.add_argument("--schemes", default="ecmp,ar,themis")
+    swp.add_argument("--seed", type=int, default=1)
+
+    pmap = sub.add_parser("pathmap", help="Fig. 3 PathMap on a fat-tree")
+    pmap.add_argument("--k", type=int, default=4)
+    pmap.add_argument("--src", type=int, default=0)
+    pmap.add_argument("--dst", type=int, default=15)
+    pmap.add_argument("--sport", type=int, default=4242)
+    return parser
+
+
+def cmd_memory(args: argparse.Namespace) -> int:
+    params = MemoryParams(
+        n_paths=args.n_paths, bandwidth_bps=args.bandwidth_gbps * 1e9,
+        rtt_last_s=args.rtt_us * 1e-6, n_nic=args.n_nic, n_qp=args.n_qp,
+        mtu_bytes=args.mtu, expansion_factor=args.factor)
+    breakdown = memory_overhead(params)
+    print(format_table(["component", "value"], [
+        ("PathMap bytes", breakdown.pathmap_bytes),
+        ("queue entries / QP", breakdown.queue_entries),
+        ("bytes / QP", breakdown.per_qp_bytes),
+        ("total bytes", breakdown.total_bytes),
+        ("total KB", f"{breakdown.total_kb():.1f}"),
+        ("fraction of 64MB SRAM",
+         percent(breakdown.sram_fraction(TOFINO_SRAM_BYTES))),
+    ]))
+    return 0
+
+
+def cmd_motivation(args: argparse.Namespace) -> int:
+    config = motivation_config(scheme=args.scheme,
+                               transport=args.transport, seed=args.seed)
+    result = run_motivation(config, flow_bytes=args.flow_bytes)
+    print(f"completed={result.completed}  "
+          f"duration={result.duration_ns / 1000:.0f} us")
+    print(f"spurious retx ratio: {percent(result.avg_retx_ratio)}")
+    print(f"avg rate: {result.avg_rate_gbps:.1f} Gbps "
+          f"({percent(result.avg_rate_fraction)} of line)")
+    if result.rate_series_gbps:
+        print("rate: " + sparkline([v for _, v in
+                                    result.rate_series_gbps]))
+    print(f"mean goodput: {result.mean_goodput_gbps:.2f} Gbps")
+    print(f"NACKs={result.nacks}  drops={result.drops}  "
+          f"blocked={result.summary['themis_blocked']}  "
+          f"compensated={result.summary['themis_compensated']}")
+    return 0 if result.completed else 1
+
+
+def cmd_collective(args: argparse.Namespace) -> int:
+    scale = EvalScale.from_env()
+    config = fig5_config(args.scheme, args.ti_us, args.td_us,
+                         scale=scale, seed=args.seed)
+    result = run_collective(config, args.collective, scale=scale)
+    print(f"{args.collective} / {args.scheme} "
+          f"(TI={args.ti_us:.0f} us, TD={args.td_us:.0f} us)")
+    print(f"tail completion: {result.tail_completion_ms:.3f} ms "
+          f"(completed={result.completed})")
+    for key, value in result.summary.items():
+        print(f"  {key}: {value}")
+    if args.json:
+        from repro.harness.report import write_json
+        path = write_json(args.json, {
+            "collective": result.collective,
+            "scheme": result.scheme,
+            "ti_us": args.ti_us, "td_us": args.td_us,
+            "seed": args.seed,
+            "tail_completion_ms": result.tail_completion_ms,
+            "group_completion_ns": result.group_completion_ns,
+            "completed": result.completed,
+            "summary": result.summary,
+        })
+        print(f"wrote {path}")
+    return 0 if result.completed else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    result = run_fig5_sweep(args.collective, schemes=schemes,
+                            seed=args.seed)
+    rows = []
+    for cond in DCQCN_SWEEP:
+        row = [f"({cond[0]:.0f}, {cond[1]:.0f})"]
+        row += [f"{result.runs[cond][s].tail_completion_ms:.3f}"
+                for s in schemes]
+        rows.append(row)
+    print(format_table(["(TI, TD) us"] + [f"{s} ms" for s in schemes],
+                       rows))
+    if "ar" in schemes and "themis" in schemes:
+        lo, hi = result.improvement_range("ar", "themis")
+        print(f"Themis vs AR: {percent(lo)} .. {percent(hi)} lower")
+    return 0
+
+
+def cmd_pathmap(args: argparse.Namespace) -> int:
+    from repro.harness.network import Network, NetworkConfig, TopologySpec
+    from repro.net.packet import FlowKey
+    from repro.themis.pathmap import build_pathmap, trace_path
+
+    net = Network(NetworkConfig(
+        topology=TopologySpec(kind="fat_tree", fat_tree_k=args.k,
+                              link_bandwidth_bps=25e9), scheme="ecmp"))
+    flow = FlowKey(args.src, args.dst)
+    n = net.topology.path_count(args.src, args.dst)
+    deltas = build_pathmap(net.topology, flow, args.sport, n)
+    rows = [[r, f"0x{d:04x}",
+             " -> ".join(trace_path(net.topology, flow,
+                                    args.sport ^ d))]
+            for r, d in enumerate(deltas)]
+    print(format_table(["PSN mod N", "delta", "path"], rows))
+    return 0
+
+
+COMMANDS = {
+    "memory": cmd_memory,
+    "motivation": cmd_motivation,
+    "collective": cmd_collective,
+    "sweep": cmd_sweep,
+    "pathmap": cmd_pathmap,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

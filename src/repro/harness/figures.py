@@ -1,0 +1,111 @@
+"""ASCII figure renderers.
+
+Terminal-friendly recreations of the paper's plots, built on the report
+helpers: a horizontal bar chart for the Fig. 5 panels and a line panel
+for the Fig. 1 time series.  They exist so `examples/` and `benchmarks/`
+can show the *figure*, not just its numbers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.motivation import MotivationResult
+    from repro.harness.sweep import SweepResult
+
+BAR_WIDTH = 48
+FILL = "█"
+
+
+def bar_chart(rows: Sequence[tuple[str, float]], *, unit: str = "",
+              width: int = BAR_WIDTH) -> str:
+    """Horizontal bar chart with value labels."""
+    if not rows:
+        return "(no data)"
+    peak = max(value for _, value in rows) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, value in rows:
+        bar = FILL * max(1, round(value / peak * width))
+        lines.append(f"{label.ljust(label_width)} |{bar} "
+                     f"{value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: Mapping[str, Mapping[str, float]], *,
+                      unit: str = "", width: int = BAR_WIDTH) -> str:
+    """One bar cluster per group (e.g. per DCQCN condition)."""
+    lines = []
+    peak = max((v for row in groups.values() for v in row.values()),
+               default=1.0) or 1.0
+    series = sorted({k for row in groups.values() for k in row})
+    label_width = max((len(s) for s in series), default=0)
+    for group, row in groups.items():
+        lines.append(f"{group}:")
+        for name in series:
+            if name not in row:
+                continue
+            value = row[name]
+            bar = FILL * max(1, round(value / peak * width))
+            lines.append(f"  {name.ljust(label_width)} |{bar} "
+                         f"{value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def line_panel(series: Sequence[tuple[int, float]], *, height: int = 10,
+               width: int = 64, time_unit_ns: int = 1000,
+               y_label: str = "") -> str:
+    """Down-sampled scatter/line panel of a (time, value) series."""
+    if not series:
+        return "(empty series)"
+    t0, t1 = series[0][0], series[-1][0]
+    span_t = max(t1 - t0, 1)
+    values = [v for _, v in series]
+    lo, hi = min(values), max(values)
+    span_v = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for t, v in series:
+        x = min(width - 1, int((t - t0) / span_t * (width - 1)))
+        y = min(height - 1, int((hi - v) / span_v * (height - 1)))
+        grid[y][x] = "·"
+    lines = [f"{hi:>10.2f} ┤" + "".join(grid[0])]
+    lines += ["           │" + "".join(row) for row in grid[1:-1]]
+    lines.append(f"{lo:>10.2f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 11 + "└" + "─" * width)
+    lines.append(f"{' ' * 12}{t0 / time_unit_ns:.0f} .. "
+                 f"{t1 / time_unit_ns:.0f} us   {y_label}")
+    return "\n".join(lines)
+
+
+def render_fig1(result: "MotivationResult") -> str:
+    """Three-panel text rendition of Figure 1 (b, c, d are per-run)."""
+    parts = [
+        f"Figure 1 panels — scheme={result.scheme} "
+        f"transport={result.transport}",
+        "",
+        "(1b) retransmission ratio over time:",
+        line_panel(result.retx_ratio_series, y_label="retx ratio"),
+        f"     average: {result.avg_retx_ratio:.1%}",
+        "",
+        "(1c) sending rate over time (Gbps):",
+        line_panel(result.rate_series_gbps, y_label="Gbps"),
+        f"     average: {result.avg_rate_gbps:.1f} / "
+        f"{result.line_rate_gbps:.0f} Gbps",
+        "",
+        f"(1d) mean goodput: {result.mean_goodput_gbps:.2f} Gbps",
+    ]
+    return "\n".join(parts)
+
+
+def render_fig5(result: "SweepResult", *,
+                schemes: Sequence[str] = ("ecmp", "ar", "themis")) -> str:
+    """Grouped-bar rendition of one Figure 5 panel."""
+    groups = {}
+    for cond, row in result.runs.items():
+        label = f"DCQCN (TI={cond[0]:.0f}us, TD={cond[1]:.0f}us)"
+        groups[label] = {s: row[s].tail_completion_ms
+                         for s in schemes if s in row}
+    title = (f"Figure 5 — {result.collective} tail completion time "
+             f"(ms, lower is better)")
+    return title + "\n" + grouped_bar_chart(groups, unit=" ms")

@@ -1,0 +1,203 @@
+"""Central measurement hub.
+
+One :class:`Metrics` instance per experiment run.  Components push raw
+events (packet sent, retransmission, drop, NACK blocked, ...) and the
+harness reads aggregated counters, per-flow records, and time series out of
+it to regenerate the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.packet import FlowKey, Packet
+from repro.sim.engine import US, Simulator
+from repro.sim.trace import RateMeter, TimeSeries, WindowedCounter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.port import Port
+    from repro.switch.switch import Switch
+
+
+@dataclass
+class FlowStats:
+    """Per-flow (per sender QP) counters and timings."""
+
+    flow: FlowKey
+    start_ns: int = 0
+    sender_done_ns: Optional[int] = None
+    receiver_done_ns: Optional[int] = None
+    bytes_posted: int = 0
+    packets_sent: int = 0
+    retransmissions: int = 0
+    spurious_retransmissions: int = 0
+    nacks_received: int = 0
+    cnps_received: int = 0
+    timeouts: int = 0
+    receiver_duplicates: int = 0
+    receiver_ooo: int = 0
+
+    @property
+    def retransmission_ratio(self) -> float:
+        if self.packets_sent == 0:
+            return 0.0
+        return self.retransmissions / self.packets_sent
+
+    def goodput_gbps(self) -> float:
+        """Application goodput: posted bytes over sender completion time."""
+        if self.sender_done_ns is None or self.sender_done_ns <= self.start_ns:
+            return 0.0
+        return self.bytes_posted * 8.0 / (self.sender_done_ns
+                                          - self.start_ns)
+
+
+@dataclass
+class ThemisStats:
+    """Counters for the in-network middleware."""
+
+    nacks_inspected: int = 0
+    nacks_blocked: int = 0
+    nacks_forwarded: int = 0
+    nacks_compensated: int = 0
+    compensation_cancelled: int = 0
+    tpsn_not_found: int = 0
+    queue_overflows: int = 0
+
+    @property
+    def block_ratio(self) -> float:
+        if self.nacks_inspected == 0:
+            return 0.0
+        return self.nacks_blocked / self.nacks_inspected
+
+
+class Metrics:
+    """Experiment-wide counters, per-flow stats, and optional traces."""
+
+    def __init__(self, sim: Simulator,
+                 trace_window_ns: int = 100 * US) -> None:
+        self.sim = sim
+        self.trace_window_ns = trace_window_ns
+
+        # Global counters
+        self.data_packets_sent = 0
+        self.data_bytes_sent = 0
+        self.retransmissions = 0
+        self.drops = 0
+        self.nacks_generated = 0
+        self.acks_generated = 0
+        self.cnps_generated = 0
+        self.ecn_marks_seen = 0
+
+        self.flows: dict[FlowKey, FlowStats] = {}
+        self.themis = ThemisStats()
+
+        # Time series used by the Fig. 1 motivation study; only populated
+        # for flows registered via watch_flow().
+        self._watched: set[FlowKey] = set()
+        self.sent_counters: dict[FlowKey, WindowedCounter] = {}
+        self.retx_counters: dict[FlowKey, WindowedCounter] = {}
+        self.rate_traces: dict[FlowKey, TimeSeries] = {}
+        self.throughput_meters: dict[FlowKey, RateMeter] = {}
+
+        # Oracle hook used by the Ideal transport: called on every data
+        # packet drop so the sender can schedule a clean retransmission.
+        self.drop_listeners: list[Callable[[Packet], None]] = []
+
+    # ------------------------------------------------------------------
+    # Flow registration
+    # ------------------------------------------------------------------
+    def flow_stats(self, flow: FlowKey) -> FlowStats:
+        stats = self.flows.get(flow)
+        if stats is None:
+            stats = FlowStats(flow, start_ns=self.sim.now)
+            self.flows[flow] = stats
+        return stats
+
+    def watch_flow(self, flow: FlowKey) -> None:
+        """Enable per-window traces for one flow (Fig. 1b/1c plumbing)."""
+        self._watched.add(flow)
+        self.sent_counters.setdefault(
+            flow, WindowedCounter(self.trace_window_ns))
+        self.retx_counters.setdefault(
+            flow, WindowedCounter(self.trace_window_ns))
+        self.rate_traces.setdefault(flow, TimeSeries(f"rate {flow}"))
+        self.throughput_meters.setdefault(
+            flow, RateMeter(self.trace_window_ns))
+
+    def rate_trace_for(self, flow: FlowKey) -> Optional[TimeSeries]:
+        return self.rate_traces.get(flow)
+
+    # ------------------------------------------------------------------
+    # Event sinks
+    # ------------------------------------------------------------------
+    def on_data_sent(self, flow: FlowKey, packet: Packet) -> None:
+        self.data_packets_sent += 1
+        self.data_bytes_sent += packet.payload_bytes
+        stats = self.flow_stats(flow)
+        stats.packets_sent += 1
+        if packet.is_retx:
+            self.retransmissions += 1
+            stats.retransmissions += 1
+        if flow in self._watched:
+            now = self.sim.now
+            self.sent_counters[flow].add(now)
+            if packet.is_retx:
+                self.retx_counters[flow].add(now)
+
+    def on_delivered(self, flow: FlowKey, packet: Packet) -> None:
+        """In-order delivery progress at the receiver (goodput)."""
+        if flow in self._watched:
+            self.throughput_meters[flow].add_bytes(self.sim.now,
+                                                   packet.payload_bytes)
+
+    def on_drop(self, packet: Packet, switch: "Switch",
+                port: "Port") -> None:
+        self.drops += 1
+        for listener in self.drop_listeners:
+            listener(packet)
+
+    def on_nack_generated(self, flow: FlowKey) -> None:
+        self.nacks_generated += 1
+
+    def on_ack_generated(self, flow: FlowKey) -> None:
+        self.acks_generated += 1
+
+    def on_cnp_generated(self, flow: FlowKey) -> None:
+        self.cnps_generated += 1
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def spurious_ratio(self) -> float:
+        """Fraction of all transmitted data packets that were
+        retransmissions — the paper's Fig. 1b headline number."""
+        if self.data_packets_sent == 0:
+            return 0.0
+        return self.retransmissions / self.data_packets_sent
+
+    def all_flows_done(self) -> bool:
+        return all(f.receiver_done_ns is not None
+                   for f in self.flows.values())
+
+    def mean_goodput_gbps(self) -> float:
+        flows = [f for f in self.flows.values() if f.bytes_posted > 0]
+        if not flows:
+            return 0.0
+        return sum(f.goodput_gbps() for f in flows) / len(flows)
+
+    def summary(self) -> dict:
+        """Flat dict of headline numbers (handy for reports/tests)."""
+        return {
+            "data_packets_sent": self.data_packets_sent,
+            "retransmissions": self.retransmissions,
+            "spurious_ratio": round(self.spurious_ratio, 4),
+            "drops": self.drops,
+            "nacks_generated": self.nacks_generated,
+            "cnps_generated": self.cnps_generated,
+            "themis_blocked": self.themis.nacks_blocked,
+            "themis_forwarded": self.themis.nacks_forwarded,
+            "themis_compensated": self.themis.nacks_compensated,
+            "mean_goodput_gbps": round(self.mean_goodput_gbps(), 3),
+        }

@@ -1,0 +1,351 @@
+"""Experiment assembly: configuration -> a fully wired simulated fabric.
+
+:class:`Network` is the public entry point most examples use: it builds
+the topology, instantiates RNICs, installs the chosen load-balancing
+scheme (plus the Themis middleware when requested), and exposes
+``post_message`` / ``run``.
+
+Supported schemes (``NetworkConfig.scheme``):
+
+========================  ====================================================
+``ecmp``                  flow-hash ECMP everywhere (baseline #1)
+``rps``                   uniform random packet spraying
+``ar``                    per-packet adaptive routing (baseline #2 in Fig. 5)
+``themis``                PSN spraying + NACK validation + compensation
+``themis_noval``          Themis-S spraying only (ablation: commodity NACKs)
+``themis_nocomp``         validation without compensation (ablation)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
+
+from repro.cc.base import CongestionControl, FixedRate
+from repro.cc.dcqcn import Dcqcn, DcqcnConfig
+from repro.conweave.config import ConweaveConfig
+from repro.conweave.dest import InOrderDest
+from repro.conweave.source import RerouteSource
+from repro.harness.metrics import Metrics
+from repro.net.packet import FlowKey, Packet
+from repro.net.topology import Topology, fat_tree, leaf_spine
+from repro.rnic.config import RnicConfig
+from repro.rnic.nic import Rnic
+from repro.sim.engine import US, Simulator
+from repro.sim.rng import SimRng
+from repro.switch.buffer import SharedBuffer
+from repro.switch.ecn import EcnConfig, EcnMarker
+from repro.switch.lb import (AdaptiveRoutingLB, EcmpLB, FlowletLB,
+                             RandomSprayLB)
+from repro.switch.pfc import PfcConfig, PfcController
+from repro.switch.switch import Switch
+from repro.themis.config import ThemisConfig
+from repro.themis.dest import ThemisDest
+from repro.themis.pathmap import build_pathmap
+from repro.themis.source import ThemisSource
+
+SCHEMES = ("ecmp", "rps", "ar", "flowlet", "themis", "themis_noval",
+           "themis_nocomp", "conweave", "conweave_spray")
+TRANSPORTS = ("nic_sr", "gbn", "ideal", "mp_rdma")
+
+#: Delay before the Ideal transport's oracle notifies the sender of a drop
+#: (stands in for one fabric RTT of detection latency).
+ORACLE_NOTIFY_NS = 10 * US
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative topology selection."""
+
+    kind: str = "leaf_spine"            # or "fat_tree"
+    num_tors: int = 4
+    num_spines: int = 4
+    nics_per_tor: int = 2
+    fat_tree_k: int = 4
+    link_bandwidth_bps: float = 100e9
+    link_delay_ns: int = US
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("leaf_spine", "fat_tree"):
+            raise ValueError(f"unknown topology kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Everything needed to reproduce one experimental condition."""
+
+    topology: TopologySpec = TopologySpec()
+    scheme: str = "ecmp"
+    transport: str = "nic_sr"
+    dcqcn: Optional[DcqcnConfig] = field(default_factory=DcqcnConfig)
+    rnic: RnicConfig = field(default_factory=RnicConfig)
+    themis: ThemisConfig = field(default_factory=ThemisConfig)
+    ecn: EcnConfig = field(default_factory=EcnConfig)
+    buffer_bytes: int = 64 * 1024 * 1024
+    #: None (default) runs the paper's lossy-with-ECN setting; a
+    #: PfcConfig makes the data class lossless hop by hop.
+    pfc: Optional[PfcConfig] = None
+    #: Flowlet inactivity gap for scheme="flowlet" (§2.3 baseline).
+    flowlet_gap_ns: int = 50 * US
+    #: Settings for the conweave / conweave_spray baselines (§2.3).
+    conweave: ConweaveConfig = field(default_factory=ConweaveConfig)
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {self.transport!r}")
+
+    def variant(self, **changes) -> "NetworkConfig":
+        """Derived config (e.g. same workload, different scheme)."""
+        return replace(self, **changes)
+
+
+class Network:
+    """A wired-up fabric ready to carry workloads."""
+
+    def __init__(self, config: NetworkConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.rng = SimRng(config.seed)
+        self.metrics = Metrics(self.sim)
+        self.topology = self._build_topology()
+        self.nics = self._build_nics()
+        self.topology.build_routes()
+        if config.scheme.startswith("themis"):
+            self._install_themis()
+        elif config.scheme.startswith("conweave"):
+            self._install_conweave()
+        if config.transport == "ideal":
+            self.metrics.drop_listeners.append(self._oracle_drop)
+        elif config.transport == "mp_rdma":
+            # MPRDMA-style senders know the fabric's path counts (their
+            # transport owns path selection in the real proposal).
+            for nic in self.nics:
+                nic.nack_filter_paths = (
+                    lambda flow: self.topology.equal_paths(flow.src,
+                                                           flow.dst))
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _make_lb(self, name: str):
+        scheme = self.config.scheme
+        if scheme in ("rps", "conweave_spray"):
+            return RandomSprayLB(self.rng.fork(f"lb-{name}"))
+        if scheme == "ar":
+            return AdaptiveRoutingLB(self.rng.fork(f"ar-{name}"))
+        if scheme == "flowlet":
+            return FlowletLB(self.rng.fork(f"fl-{name}"),
+                             gap_ns=self.config.flowlet_gap_ns)
+        # ECMP for both the ecmp scheme and as the non-sprayed fallback in
+        # themis modes (Themis-S overrides selection where it applies).
+        return EcmpLB()
+
+    def _switch_factory(self, name: str) -> Switch:
+        switch = Switch(
+            self.sim, name,
+            lb=self._make_lb(name),
+            buffer=SharedBuffer(self.config.buffer_bytes),
+            ecn_marker=EcnMarker(self.config.ecn,
+                                 self.rng.fork(f"ecn-{name}")),
+            metrics=self.metrics)
+        if self.config.pfc is not None:
+            switch.pfc = PfcController(self.sim, switch, self.config.pfc)
+        return switch
+
+    def _build_topology(self) -> Topology:
+        spec = self.config.topology
+        if spec.kind == "leaf_spine":
+            return leaf_spine(
+                self.sim, self._switch_factory,
+                num_tors=spec.num_tors, num_spines=spec.num_spines,
+                nics_per_tor=spec.nics_per_tor,
+                link_bandwidth_bps=spec.link_bandwidth_bps,
+                link_delay_ns=spec.link_delay_ns)
+        return fat_tree(self.sim, self._switch_factory, k=spec.fat_tree_k,
+                        link_bandwidth_bps=spec.link_bandwidth_bps,
+                        link_delay_ns=spec.link_delay_ns)
+
+    def _cc_factory_for(self, line_rate_bps: float
+                        ) -> Callable[[FlowKey], CongestionControl]:
+        def factory(flow: FlowKey) -> CongestionControl:
+            if self.config.dcqcn is None or self.config.transport == "ideal":
+                return FixedRate(self.sim, line_rate_bps)
+            return Dcqcn(self.sim, line_rate_bps, self.config.dcqcn,
+                         rate_trace=self.metrics.rate_trace_for(flow))
+        return factory
+
+    def _build_nics(self) -> list[Rnic]:
+        nics = []
+        line_rate = self.config.topology.link_bandwidth_bps
+        for nic_id in range(self.topology.num_nics):
+            nic = Rnic(self.sim, nic_id,
+                       config=self.config.rnic, metrics=self.metrics,
+                       rng=self.rng.fork(f"nic{nic_id}"),
+                       cc_factory=self._cc_factory_for(line_rate),
+                       transport=self.config.transport)
+            nic.uplink = self.topology.attach_nic(nic_id, nic)
+            nics.append(nic)
+        return nics
+
+    # ------------------------------------------------------------------
+    # Themis installation
+    # ------------------------------------------------------------------
+    def _themis_config(self) -> ThemisConfig:
+        cfg = self.config.themis
+        scheme = self.config.scheme
+        if scheme == "themis_noval":
+            cfg = replace(cfg, enable_validation=False,
+                          enable_compensation=False)
+        elif scheme == "themis_nocomp":
+            cfg = replace(cfg, enable_compensation=False)
+        if (self.config.topology.kind == "fat_tree"
+                and cfg.spray_mode == "direct"):
+            cfg = replace(cfg, spray_mode="pathmap")
+        return cfg
+
+    def _n_paths_for(self, flow: FlowKey) -> int:
+        if self._themis_cfg.spray_mode == "pathmap":
+            return self.topology.path_count(flow.src, flow.dst)
+        return self.topology.equal_paths(flow.src, flow.dst)
+
+    def _queue_capacity_for(self, flow: FlowKey) -> int:
+        """Ring-queue sizing (§4), with the last-hop RTT taken as
+        propagation plus the ECN-bounded worst-case queueing delay at the
+        ToR down port — in deployment this is the measured RTT_last."""
+        spec = self.config.topology
+        bandwidth = spec.link_bandwidth_bps
+        queueing_ns = int(self.config.ecn.kmax_bytes * 8 * 1e9 / bandwidth)
+        rtt_ns = 2 * spec.link_delay_ns + queueing_ns
+        return self._themis_cfg.queue_entries(
+            bandwidth, rtt_ns, self.config.rnic.mtu_bytes)
+
+    def _install_themis(self) -> None:
+        self._themis_cfg = self._themis_config()
+        provider = None
+        if self._themis_cfg.spray_mode == "pathmap":
+            def provider(flow: FlowKey, sport: int) -> list[int]:
+                return build_pathmap(self.topology, flow, sport,
+                                     self._n_paths_for(flow))
+        for tor in self.topology.tors:
+            tor.add_middleware(ThemisDest(
+                self._themis_cfg, self.metrics,
+                n_paths_for=self._n_paths_for,
+                queue_capacity_for=self._queue_capacity_for))
+            tor.add_middleware(ThemisSource(
+                self._themis_cfg, self.metrics,
+                pathmap_provider=provider))
+
+    def _install_conweave(self) -> None:
+        """§2.3 baseline: in-order delivery enforced at the dst ToR.
+
+        ``conweave`` pairs the reorder buffer with flow-level rerouting
+        (the system it models); ``conweave_spray`` pairs it with random
+        packet spraying to measure what full packet-level LB would
+        demand of the reordering resources.
+        """
+        self.conweave_dests: list[InOrderDest] = []
+        for tor in self.topology.tors:
+            dest = InOrderDest(self.config.conweave)
+            tor.add_middleware(dest)
+            self.conweave_dests.append(dest)
+            if self.config.scheme == "conweave":
+                tor.add_middleware(RerouteSource(self.config.conweave))
+
+    # ------------------------------------------------------------------
+    # Link failure handling (§6)
+    # ------------------------------------------------------------------
+    def fail_link(self, switch_a: str, switch_b: str) -> None:
+        """Fail the inter-switch link between two named switches.
+
+        Models the paper's §6 failure story end to end: both directions
+        of the cable go down, routing converges (the dead ports leave
+        every equal-cost candidate set), and — because PSN-based spraying
+        can no longer keep Eq. 1's path mapping consistent — every ToR
+        disables Themis and reverts to plain ECMP.
+        """
+        by_name = {s.name: s for s in self.topology.switches}
+        try:
+            a, b = by_name[switch_a], by_name[switch_b]
+        except KeyError as exc:
+            raise LookupError(f"unknown switch {exc}") from exc
+        failed = 0
+        for src, dst in ((a, b), (b, a)):
+            for port in src.ports:
+                if port.peer is dst and port.up:
+                    port.up = False
+                    failed += 1
+        if failed == 0:
+            raise LookupError(f"no live link {switch_a} <-> {switch_b}")
+        # Re-converge routing over the surviving graph.
+        self.topology.build_routes()
+        for tor in self.topology.tors:
+            for nic_id in range(self.topology.num_nics):
+                if nic_id not in tor.routes:
+                    raise RuntimeError(
+                        f"{tor.name} lost all routes to NIC {nic_id}")
+        self._set_themis_enabled(False)
+
+    def heal_links(self) -> None:
+        """Bring every failed link back and re-enable Themis."""
+        for switch in self.topology.switches:
+            for port in switch.ports:
+                port.up = True
+        self.topology.build_routes()
+        self._set_themis_enabled(True)
+
+    def _set_themis_enabled(self, enabled: bool) -> None:
+        for tor in self.topology.tors:
+            for mw in tor.middleware:
+                if enabled:
+                    mw.enable()
+                else:
+                    mw.disable()
+
+    # ------------------------------------------------------------------
+    # Ideal-transport oracle
+    # ------------------------------------------------------------------
+    def _oracle_drop(self, packet: Packet) -> None:
+        if not packet.is_data:
+            return
+        sender = self.nics[packet.flow.src].senders.get(packet.flow)
+        if sender is not None:
+            self.sim.schedule(ORACLE_NOTIFY_NS, sender.force_retransmit,
+                              packet.psn)
+
+    # ------------------------------------------------------------------
+    # Workload API
+    # ------------------------------------------------------------------
+    def post_message(self, src: int, dst: int, nbytes: int, *, qp: int = 0,
+                     on_sender_done: Optional[Callable[[], None]] = None,
+                     on_receiver_done: Optional[Callable[[], None]] = None
+                     ) -> FlowKey:
+        """Post a message on the (src, dst, qp) QP and pre-post the
+        matching receive.  Returns the flow key."""
+        flow = self.nics[src].post_send(dst, nbytes, qp=qp,
+                                        on_done=on_sender_done)
+        self.nics[dst].expect_message(src, nbytes, qp=qp,
+                                      on_done=on_receiver_done)
+        return flow
+
+    def watch_flow(self, src: int, dst: int, qp: int = 0) -> FlowKey:
+        """Enable traces for a flow.  Call before posting messages."""
+        flow = FlowKey(src, dst, qp)
+        self.metrics.watch_flow(flow)
+        return flow
+
+    def run(self, until_ns: Optional[int] = None) -> int:
+        """Run to quiescence (or ``until_ns``); returns events executed."""
+        return self.sim.run(until=until_ns)
+
+    def stop(self) -> None:
+        """Cancel all NIC timers so the event queue can drain."""
+        for nic in self.nics:
+            nic.stop()
+
+    @property
+    def now_ns(self) -> int:
+        return self.sim.now

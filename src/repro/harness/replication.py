@@ -1,0 +1,85 @@
+"""Multi-seed replication utilities.
+
+Single-seed results of a packet simulator can hinge on hash luck (one
+ECMP collision more or less).  :func:`replicate` runs a metric extractor
+across seeds and reports distribution statistics, so benchmarks and tests
+can assert on means instead of single draws.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class ReplicatedStat:
+    """Summary of one metric across replicated runs."""
+
+    name: str
+    values: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0.0 for n < 2)."""
+        if self.n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((v - mean) ** 2 for v in self.values)
+                         / (self.n - 1))
+
+    @property
+    def min(self) -> float:
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+    def ci95_halfwidth(self) -> float:
+        """~95% normal-approximation confidence half-width."""
+        if self.n < 2:
+            return 0.0
+        return 1.96 * self.std / math.sqrt(self.n)
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.mean:.4g} ± "
+                f"{self.ci95_halfwidth():.2g} "
+                f"[{self.min:.4g}, {self.max:.4g}] (n={self.n})")
+
+
+def replicate(metric: Callable[[int], float], *,
+              seeds: Sequence[int] = (1, 2, 3, 4, 5),
+              name: str = "metric") -> ReplicatedStat:
+    """Evaluate ``metric(seed)`` across seeds."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return ReplicatedStat(name, tuple(float(metric(s)) for s in seeds))
+
+
+def replicate_many(metrics: Callable[[int], dict], *,
+                   seeds: Sequence[int] = (1, 2, 3, 4, 5)
+                   ) -> dict[str, ReplicatedStat]:
+    """Evaluate a dict-returning extractor across seeds.
+
+    One simulation per seed; every key of the returned dict becomes a
+    :class:`ReplicatedStat`.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    rows = [metrics(s) for s in seeds]
+    keys = rows[0].keys()
+    for row in rows[1:]:
+        if row.keys() != keys:
+            raise ValueError("metric keys differ across seeds")
+    return {key: ReplicatedStat(key, tuple(float(r[key]) for r in rows))
+            for key in keys}

@@ -1,0 +1,67 @@
+"""Plain-text reporting helpers for benchmark/example output.
+
+The harness prints the same rows/series the paper's tables and figures
+show; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells))
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(series: Sequence[tuple[int, float]], *,
+                  time_unit_ns: int = 1000, time_label: str = "us",
+                  value_fmt: str = "{:.3f}", max_rows: int = 20) -> str:
+    """Down-sampled (time, value) listing for figure-style series."""
+    if not series:
+        return "(empty series)"
+    step = max(1, len(series) // max_rows)
+    sampled = list(series[::step])
+    if sampled[-1] != series[-1]:
+        sampled.append(series[-1])
+    lines = [f"{t / time_unit_ns:>12.1f} {time_label}  "
+             + value_fmt.format(v) for t, v in sampled]
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Unicode mini-chart, handy for eyeballing rate sawtooths."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    step = max(1, len(values) // width)
+    sampled = list(values[::step])
+    low, high = min(sampled), max(sampled)
+    span = (high - low) or 1.0
+    return "".join(blocks[int((v - low) / span * (len(blocks) - 1))]
+                   for v in sampled)
+
+
+def percent(value: float) -> str:
+    return f"{value * 100:.1f}%"
+
+
+def write_json(path: str | Path, payload: dict) -> Path:
+    """Persist a result payload next to the benchmarks."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path

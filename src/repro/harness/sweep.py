@@ -1,0 +1,66 @@
+"""Fig. 5 parameter sweep: schemes x DCQCN (TI, TD) configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.harness.collective_runner import (CollectiveRunResult,
+                                             EvalScale, fig5_config,
+                                             run_collective)
+
+#: The five (TI, TD) pairs of Fig. 5, in microseconds; (900, 4) is the
+#: vendor-recommended configuration.
+DCQCN_SWEEP: tuple[tuple[float, float], ...] = (
+    (900, 4), (300, 4), (10, 4), (10, 50), (10, 200))
+
+DEFAULT_SCHEMES = ("ecmp", "ar", "themis")
+
+
+@dataclass
+class SweepResult:
+    """All conditions of one Fig. 5 panel."""
+
+    collective: str
+    #: (ti_us, td_us) -> scheme -> run result
+    runs: dict[tuple[float, float], dict[str, CollectiveRunResult]] \
+        = field(default_factory=dict)
+
+    def tail_ms(self, ti_td: tuple[float, float], scheme: str) -> float:
+        return self.runs[ti_td][scheme].tail_completion_ms
+
+    def improvement_over(self, baseline: str, scheme: str,
+                         ti_td: tuple[float, float]) -> float:
+        """Relative completion-time reduction of ``scheme`` vs baseline
+        (positive = faster), the paper's "X% lower" statistic."""
+        base = self.tail_ms(ti_td, baseline)
+        ours = self.tail_ms(ti_td, scheme)
+        if base <= 0:
+            return 0.0
+        return 1.0 - ours / base
+
+    def improvement_range(self, baseline: str = "ar",
+                          scheme: str = "themis") -> tuple[float, float]:
+        values = [self.improvement_over(baseline, scheme, cond)
+                  for cond in self.runs]
+        return (min(values), max(values))
+
+
+def run_fig5_sweep(collective: str = "allreduce", *,
+                   schemes: Sequence[str] = DEFAULT_SCHEMES,
+                   conditions: Sequence[tuple[float, float]] = DCQCN_SWEEP,
+                   scale: Optional[EvalScale] = None,
+                   bytes_per_group: Optional[int] = None,
+                   seed: int = 1) -> SweepResult:
+    """Run every (condition, scheme) cell of one Fig. 5 panel."""
+    result = SweepResult(collective)
+    for ti_us, td_us in conditions:
+        row: dict[str, CollectiveRunResult] = {}
+        for scheme in schemes:
+            config = fig5_config(scheme, ti_us, td_us, scale=scale,
+                                 seed=seed)
+            row[scheme] = run_collective(config, collective,
+                                         bytes_per_group=bytes_per_group,
+                                         scale=scale)
+        result.runs[(ti_us, td_us)] = row
+    return result

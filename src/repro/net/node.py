@@ -1,0 +1,36 @@
+"""Device base class.
+
+Everything attached to the fabric — NICs and switches — is a
+:class:`Device`: it owns egress :class:`~repro.net.port.Port` objects and
+accepts packets via :meth:`receive`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.packet import Packet
+    from repro.net.port import Port
+
+
+class Device:
+    """A node in the network graph (NIC or switch)."""
+
+    def __init__(self, sim: Simulator, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.ports: list["Port"] = []
+
+    def attach_port(self, port: "Port") -> None:
+        port.index = len(self.ports)
+        self.ports.append(port)
+
+    def receive(self, packet: "Packet", in_port: "Port | None") -> None:
+        """Handle a packet delivered by a link.  Subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"

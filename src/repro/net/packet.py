@@ -1,0 +1,149 @@
+"""Packet model.
+
+Packets approximate RoCEv2 frames at the granularity the paper cares about:
+a PSN-carrying data segment (BTH), ACK/NACK control packets carrying the
+receiver's expected PSN (AETH), and DCQCN CNPs.  Header layouts are not
+modelled byte-for-byte; instead each packet knows its wire size so links and
+buffers account for real bandwidth/occupancy.
+
+Key fields used by Themis:
+
+* ``psn``       — packet sequence number (data packets).
+* ``epsn``      — expected PSN carried by ACK/NACK (AETH syndrome field).
+* ``udp_sport`` — RoCEv2 UDP source port, the entropy field ECMP hashes
+  over and the field Themis-S rewrites (Fig. 3).
+* ``path_index`` — the fabric path the packet actually took; assigned by
+  the source ToR's load balancer.  This is simulator bookkeeping standing
+  in for "which core/spine the packet traversed".
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+#: Bytes of Eth+IP+UDP+BTH framing on a data segment.
+DATA_HEADER_BYTES = 58
+#: Wire size of ACK/NACK/CNP control packets.
+CONTROL_PACKET_BYTES = 64
+#: Default MTU (payload + headers) used across experiments, per Table 1.
+DEFAULT_MTU = 1500
+
+
+class PacketType(enum.Enum):
+    """RoCEv2 packet classes the simulator distinguishes."""
+
+    DATA = "data"
+    ACK = "ack"
+    NACK = "nack"
+    CNP = "cnp"
+
+
+@dataclass(frozen=True)
+class FlowKey:
+    """Identity of one RC queue pair's direction (sender -> receiver).
+
+    ``src``/``dst`` are NIC ids; ``qp`` disambiguates multiple QPs between
+    the same NIC pair (collectives open one QP per peer per step group).
+    """
+
+    src: int
+    dst: int
+    qp: int = 0
+
+    def reversed(self) -> "FlowKey":
+        """Key of the control-packet direction (receiver -> sender)."""
+        return FlowKey(self.dst, self.src, self.qp)
+
+    def __str__(self) -> str:
+        return f"{self.src}->{self.dst}#{self.qp}"
+
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """A simulated packet.
+
+    Mutable on purpose: switches rewrite ``udp_sport`` (Themis-S) and set
+    ``ecn_marked`` (RED/ECN) in flight, exactly like real hardware.
+    """
+
+    __slots__ = (
+        "pkt_id", "ptype", "flow", "psn", "epsn", "payload_bytes",
+        "wire_bytes", "udp_sport", "ecn_marked", "is_retx", "path_index",
+        "sent_at", "themis_generated", "hops",
+    )
+
+    def __init__(self, ptype: PacketType, flow: FlowKey, *,
+                 psn: int = 0, epsn: int = 0, payload_bytes: int = 0,
+                 udp_sport: int = 0, is_retx: bool = False,
+                 sent_at: int = 0) -> None:
+        self.pkt_id = next(_packet_ids)
+        self.ptype = ptype
+        self.flow = flow
+        self.psn = psn
+        self.epsn = epsn
+        self.payload_bytes = payload_bytes
+        if ptype is PacketType.DATA:
+            self.wire_bytes = payload_bytes + DATA_HEADER_BYTES
+        else:
+            self.wire_bytes = CONTROL_PACKET_BYTES
+        self.udp_sport = udp_sport
+        self.ecn_marked = False
+        self.is_retx = is_retx
+        self.path_index: Optional[int] = None
+        self.sent_at = sent_at
+        self.themis_generated = False
+        self.hops = 0
+
+    # -- classification helpers ---------------------------------------
+    @property
+    def is_data(self) -> bool:
+        return self.ptype is PacketType.DATA
+
+    @property
+    def is_control(self) -> bool:
+        return self.ptype is not PacketType.DATA
+
+    @property
+    def src(self) -> int:
+        """NIC id this packet originates from."""
+        return self.flow.src
+
+    @property
+    def dst(self) -> int:
+        """NIC id this packet is addressed to."""
+        return self.flow.dst
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f"psn={self.psn}" if self.is_data else f"epsn={self.epsn}"
+        return (f"Packet#{self.pkt_id}({self.ptype.value}, {self.flow}, "
+                f"{extra}, {self.wire_bytes}B)")
+
+
+def data_packet(flow: FlowKey, psn: int, payload_bytes: int, *,
+                udp_sport: int = 0, is_retx: bool = False,
+                sent_at: int = 0) -> Packet:
+    """Build a data segment."""
+    return Packet(PacketType.DATA, flow, psn=psn,
+                  payload_bytes=payload_bytes, udp_sport=udp_sport,
+                  is_retx=is_retx, sent_at=sent_at)
+
+
+def ack_packet(data_flow: FlowKey, epsn: int) -> Packet:
+    """Cumulative ACK: everything below ``epsn`` is received."""
+    return Packet(PacketType.ACK, data_flow.reversed(), epsn=epsn)
+
+
+def nack_packet(data_flow: FlowKey, epsn: int) -> Packet:
+    """NACK carrying only the receiver's expected PSN (per §2.2 the
+    out-of-order trigger PSN is *not* included)."""
+    return Packet(PacketType.NACK, data_flow.reversed(), epsn=epsn)
+
+
+def cnp_packet(data_flow: FlowKey) -> Packet:
+    """DCQCN congestion notification packet."""
+    return Packet(PacketType.CNP, data_flow.reversed())

@@ -1,0 +1,180 @@
+"""Egress port: serialization, propagation, and priority queueing.
+
+A :class:`Port` models one direction of a cable: the owning device enqueues
+packets, the port serializes them at link bandwidth, and after the
+propagation delay the peer device's :meth:`receive` runs.
+
+Two strict-priority FIFOs are kept: control packets (ACK/NACK/CNP) always
+transmit before data, mirroring the lossless high-priority control class
+RDMA fabrics configure.  Data packets pass through an optional
+:class:`QueuePolicy` that implements buffer admission (drops) and ECN
+marking; control packets are never dropped or marked.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.sim.engine import SEC, Simulator
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.node import Device
+
+
+class QueuePolicy:
+    """Admission/marking hooks applied to data packets at enqueue time.
+
+    The default policy admits everything and never marks; switches install
+    :class:`repro.switch.buffer.SharedBuffer` + :class:`repro.switch.ecn.EcnMarker`
+    backed policies.
+    """
+
+    def admit(self, port: "Port", packet: Packet) -> bool:
+        """Return ``False`` to drop ``packet`` instead of queueing it."""
+        return True
+
+    def on_enqueue(self, port: "Port", packet: Packet) -> None:
+        """Called after a data packet is queued (ECN marking point)."""
+
+    def on_dequeue(self, port: "Port", packet: Packet) -> None:
+        """Called when a data packet starts transmission (buffer release)."""
+
+
+class Port:
+    """One egress port of a device, wired to a peer device."""
+
+    def __init__(self, sim: Simulator, owner: "Device", *,
+                 bandwidth_bps: float, delay_ns: int,
+                 name: str = "") -> None:
+        self.sim = sim
+        self.owner = owner
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.delay_ns = int(delay_ns)
+        self.name = name or f"{owner.name}.p?"
+        self.index = -1
+        self.peer: Optional["Device"] = None
+
+        self._control: deque[Packet] = deque()
+        self._data: deque[Packet] = deque()
+        self.queued_bytes = 0          # data bytes waiting (excl. in-flight)
+        self._busy = False
+        self._data_paused = False      # PFC: data class held, control flows
+        self.policy: QueuePolicy = QueuePolicy()
+
+        # Fault injection: probability of silently dropping a departing
+        # data packet (models a lossy cable), and an administrative down
+        # flag (models link failure).
+        self.loss_rate = 0.0
+        self.up = True
+        self._loss_rng = None
+
+        # Stats
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.busy_ns = 0
+        self.on_drop: Optional[Callable[[Packet, "Port"], None]] = None
+
+        owner.attach_port(self)
+        self.name = f"{owner.name}.p{self.index}"
+
+    # ------------------------------------------------------------------
+    def connect(self, peer: "Device") -> None:
+        self.peer = peer
+
+    def serialization_ns(self, packet: Packet) -> int:
+        return max(1, int(packet.wire_bytes * 8 * SEC / self.bandwidth_bps))
+
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """Queue a packet for transmission.
+
+        Returns ``True`` if accepted, ``False`` if dropped by policy.
+        """
+        if packet.is_control:
+            self._control.append(packet)
+        else:
+            if not self.policy.admit(self, packet):
+                self._drop(packet)
+                return False
+            self._data.append(packet)
+            self.queued_bytes += packet.wire_bytes
+            self.policy.on_enqueue(self, packet)
+        if not self._busy:
+            self._start_transmission()
+        return True
+
+    # ------------------------------------------------------------------
+    def _start_transmission(self) -> None:
+        if self._control:
+            packet = self._control.popleft()
+        elif self._data and not self._data_paused:
+            packet = self._data.popleft()
+            self.queued_bytes -= packet.wire_bytes
+            self.policy.on_dequeue(self, packet)
+        else:
+            return
+        self._busy = True
+        tx_ns = self.serialization_ns(packet)
+        self.busy_ns += tx_ns
+        self.sim.schedule(tx_ns, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self._busy = False
+        lost = not self.up
+        if (not lost and packet.is_data and self.loss_rate > 0.0
+                and self._loss_rng is not None
+                and self._loss_rng.random() < self.loss_rate):
+            lost = True
+        if lost:
+            self._drop(packet)
+        else:
+            self.bytes_sent += packet.wire_bytes
+            self.packets_sent += 1
+            packet.hops += 1
+            self.sim.schedule(self.delay_ns, self._deliver, packet)
+        if self._control or self._data:
+            self._start_transmission()
+
+    def _deliver(self, packet: Packet) -> None:
+        assert self.peer is not None, f"{self.name} not connected"
+        self.peer.receive(packet, self)
+
+    def _drop(self, packet: Packet) -> None:
+        self.packets_dropped += 1
+        if self.on_drop is not None:
+            self.on_drop(packet, self)
+
+    # ------------------------------------------------------------------
+    # PFC (802.1Qbb) hooks — driven by the downstream switch's
+    # PfcController; only the lossy data class is held back.
+    # ------------------------------------------------------------------
+    def pause_data(self) -> None:
+        self._data_paused = True
+
+    def resume_data(self) -> None:
+        self._data_paused = False
+        if not self._busy:
+            self._start_transmission()
+
+    @property
+    def data_paused(self) -> bool:
+        return self._data_paused
+
+    # ------------------------------------------------------------------
+    def set_loss(self, rate: float, rng) -> None:
+        """Enable random drops of departing data packets (fault injection)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("loss rate must be in [0, 1]")
+        self.loss_rate = rate
+        self._loss_rng = rng
+
+    @property
+    def backlog_packets(self) -> int:
+        return len(self._control) + len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        peer = self.peer.name if self.peer else "?"
+        return f"Port({self.name}->{peer}, q={self.queued_bytes}B)"

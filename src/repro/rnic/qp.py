@@ -1,0 +1,279 @@
+"""Sender-side queue pair: pacing, reliability reaction, completions.
+
+The sender QP models what commodity RNIC hardware does with an RC QP:
+
+* serializes posted messages into PSN-numbered MTU segments,
+* paces them at the congestion-control rate (hardware rate pacing — the
+  very property that breaks flowlet LB, §2.3),
+* on a NACK: retransmits the expected-PSN segment (selective repeat) or
+  rewinds (Go-Back-N), *and reports the NACK to congestion control*, which
+  is the spurious slow-start coupling Themis defuses,
+* falls back to a retransmission timeout when no NACK arrives (the case
+  NACK compensation exists to avoid, §3.4).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.cc.base import CongestionControl
+from repro.net.packet import FlowKey, Packet, data_packet
+from repro.rnic.config import RnicConfig
+from repro.sim.engine import SEC, Simulator
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.metrics import Metrics
+    from repro.rnic.nic import Rnic
+
+
+@dataclass
+class _Message:
+    start_psn: int
+    end_psn: int
+    nbytes: int
+    on_done: Optional[Callable[[], None]]
+
+
+class SenderQp:
+    """One direction of an RC queue pair, sender side."""
+
+    def __init__(self, sim: Simulator, nic: "Rnic", flow: FlowKey,
+                 cc: CongestionControl, config: RnicConfig,
+                 metrics: "Metrics", *, udp_sport: int,
+                 gbn: bool = False,
+                 nack_filter_n_paths: Optional[int] = None) -> None:
+        self.sim = sim
+        self.nic = nic
+        self.flow = flow
+        self.cc = cc
+        self.config = config
+        self.metrics = metrics
+        self.udp_sport = udp_sport
+        self.gbn = gbn
+        #: MPRDMA-style sender-side Eq. 3 filtering: when set (and the
+        #: NACK carries its trigger PSN), skew-induced NACKs are ignored
+        #: at the sender instead of at the ToR.
+        self.nack_filter_n_paths = nack_filter_n_paths
+        self.nacks_filtered = 0
+
+        self._messages: list[_Message] = []
+        self._message_starts: list[int] = []   # parallel to _messages
+        self._next_completion = 0              # index into _messages
+
+        self.total_psns = 0        # one past the last posted PSN
+        self.next_psn = 0          # next never-sent PSN
+        self.snd_una = 0           # cumulative: all PSNs below are acked
+        self.highest_sent = -1
+
+        self._retx_queue: list[int] = []
+        self._retx_set: set[int] = set()
+
+        self._send_event: Optional[Event] = None
+        self._next_allowed_ns = 0
+
+        self._rto_event: Optional[Event] = None
+        self._rto_current_ns = config.rto_ns
+
+        self.stats = metrics.flow_stats(flow)
+
+    # ------------------------------------------------------------------
+    # Posting work
+    # ------------------------------------------------------------------
+    def post_send(self, nbytes: int,
+                  on_done: Optional[Callable[[], None]] = None) -> None:
+        """Queue a message; PSN numbering continues across messages."""
+        npkts = self.config.packets_for(nbytes)
+        message = _Message(self.total_psns, self.total_psns + npkts,
+                           nbytes, on_done)
+        self._messages.append(message)
+        self._message_starts.append(message.start_psn)
+        self.total_psns = message.end_psn
+        self.stats.bytes_posted += nbytes
+        self._arm_rto()
+        self._maybe_schedule_send()
+
+    def payload_for(self, psn: int) -> int:
+        """Payload bytes carried by segment ``psn``."""
+        idx = bisect.bisect_right(self._message_starts, psn) - 1
+        if idx < 0 or psn >= self._messages[idx].end_psn:
+            raise ValueError(f"PSN {psn} was never posted on {self.flow}")
+        message = self._messages[idx]
+        if psn == message.end_psn - 1:
+            remainder = message.nbytes - (message.end_psn - 1
+                                          - message.start_psn
+                                          ) * self.config.payload_bytes
+            return remainder
+        return self.config.payload_bytes
+
+    # ------------------------------------------------------------------
+    # Pacing / transmission
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return self.next_psn - self.snd_una
+
+    def _has_work(self) -> bool:
+        return bool(self._retx_queue) or self.next_psn < self.total_psns
+
+    def _window_open(self) -> bool:
+        return self.inflight < self.config.max_inflight_packets
+
+    def _maybe_schedule_send(self) -> None:
+        if self._send_event is not None or not self._has_work():
+            return
+        if not self._retx_queue and not self._window_open():
+            return  # re-kicked when an ACK frees window space
+        delay = max(0, self._next_allowed_ns - self.sim.now)
+        self._send_event = self.sim.schedule(delay, self._send_one)
+
+    def _send_one(self) -> None:
+        self._send_event = None
+        if not self._has_work():
+            return
+        if self._retx_queue:
+            psn = self._retx_queue.pop(0)
+            self._retx_set.discard(psn)
+            if psn < self.snd_una:  # stale entry, already acked
+                self._maybe_schedule_send()
+                return
+        elif self._window_open():
+            psn = self.next_psn
+            self.next_psn += 1
+        else:
+            return
+        is_retx = psn <= self.highest_sent
+        if psn > self.highest_sent:
+            self.highest_sent = psn
+        packet = data_packet(self.flow, psn, self.payload_for(psn),
+                             udp_sport=self.udp_sport, is_retx=is_retx,
+                             sent_at=self.sim.now)
+        self.metrics.on_data_sent(self.flow, packet)
+        self.nic.transmit(packet)
+        self.cc.on_bytes_sent(packet.wire_bytes)
+        gap_ns = int(packet.wire_bytes * 8 * SEC / self.cc.rate_bps)
+        base = max(self.sim.now, self._next_allowed_ns)
+        self._next_allowed_ns = base + max(1, gap_ns)
+        self._maybe_schedule_send()
+
+    # ------------------------------------------------------------------
+    # Reliability feedback
+    # ------------------------------------------------------------------
+    def on_ack(self, epsn: int) -> None:
+        self._advance_una(epsn)
+        self.cc.on_ack()
+        self._maybe_schedule_send()
+
+    def on_nack(self, epsn: int,
+                trigger_psn: Optional[int] = None) -> None:
+        """NACK: cumulative progress below epsn + retransmit request."""
+        self.stats.nacks_received += 1
+        self._advance_una(epsn)
+        if (self.nack_filter_n_paths is not None
+                and trigger_psn is not None
+                and trigger_psn % self.nack_filter_n_paths
+                != epsn % self.nack_filter_n_paths):
+            # Eq. 3 at the sender: different path => skew, not loss.
+            self.nacks_filtered += 1
+            self._maybe_schedule_send()
+            return
+        if self.gbn:
+            # Go-Back-N: rewind and resend everything from the expected PSN.
+            if epsn < self.next_psn:
+                self.next_psn = epsn
+                self._retx_queue.clear()
+                self._retx_set.clear()
+        else:
+            self._queue_retx(epsn)
+        self.cc.on_nack()
+        self._maybe_schedule_send()
+
+    def on_cnp(self) -> None:
+        self.stats.cnps_received += 1
+        self.cc.on_cnp()
+
+    def force_retransmit(self, psn: int) -> None:
+        """Oracle loss notification (Ideal transport): resend one PSN
+        without touching congestion control."""
+        self._queue_retx(psn)
+        self._maybe_schedule_send()
+
+    def _queue_retx(self, psn: int) -> None:
+        if psn < self.snd_una or psn >= self.total_psns:
+            return
+        if psn in self._retx_set:
+            return
+        self._retx_set.add(psn)
+        self._retx_queue.append(psn)
+
+    def _advance_una(self, epsn: int) -> None:
+        if epsn <= self.snd_una:
+            return
+        self.snd_una = min(epsn, self.total_psns)
+        while self._retx_queue and self._retx_queue[0] < self.snd_una:
+            self._retx_set.discard(self._retx_queue.pop(0))
+        self._fire_completions()
+        self._arm_rto(reset_backoff=True)
+
+    def _fire_completions(self) -> None:
+        while self._next_completion < len(self._messages):
+            message = self._messages[self._next_completion]
+            if message.end_psn > self.snd_una:
+                break
+            self._next_completion += 1
+            self.stats.sender_done_ns = self.sim.now
+            if message.on_done is not None:
+                message.on_done()
+
+    @property
+    def complete(self) -> bool:
+        return self.total_psns > 0 and self.snd_una >= self.total_psns
+
+    # ------------------------------------------------------------------
+    # Retransmission timeout
+    # ------------------------------------------------------------------
+    def _arm_rto(self, reset_backoff: bool = False) -> None:
+        if reset_backoff:
+            self._rto_current_ns = self.config.rto_ns
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self.snd_una >= self.total_psns:
+            return
+        self._rto_event = self.sim.schedule(self._rto_current_ns,
+                                            self._rto_fire)
+
+    def _rto_fire(self) -> None:
+        self._rto_event = None
+        if self.snd_una >= self.total_psns:
+            return
+        self.stats.timeouts += 1
+        if self.gbn:
+            self.next_psn = self.snd_una
+            self._retx_queue.clear()
+            self._retx_set.clear()
+        else:
+            self._queue_retx(self.snd_una)
+        self.cc.on_timeout()
+        self._rto_current_ns = min(
+            int(self._rto_current_ns * self.config.rto_backoff),
+            self.config.rto_max_ns)
+        self._rto_event = self.sim.schedule(self._rto_current_ns,
+                                            self._rto_fire)
+        self._maybe_schedule_send()
+
+    def stop(self) -> None:
+        """Tear down timers (end of experiment)."""
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self._send_event is not None:
+            self._send_event.cancel()
+            self._send_event = None
+        self.cc.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SenderQp({self.flow}, una={self.snd_una}, "
+                f"next={self.next_psn}/{self.total_psns})")

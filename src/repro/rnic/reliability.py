@@ -1,0 +1,275 @@
+"""Receiver-side reliable transports.
+
+Three generations are modelled (§1, §2.2):
+
+* :class:`NicSrReceiver` — current-generation commodity RNICs (CX-6/7,
+  BF3): out-of-order reception into a bitmap + selective repeat.  The
+  crucial, faithful quirk: *any* packet with PSN > ePSN is blindly treated
+  as evidence of loss and triggers a NACK carrying only the ePSN, at most
+  one NACK per ePSN value.
+* :class:`GbnReceiver` — previous generation (CX-4/5): OOO packets are
+  dropped at the receiver and the sender goes back to the expected PSN.
+* :class:`IdealReceiver` — oracle baseline for Fig. 1d: accepts OOO and
+  never NACKs; real losses are repaired by an oracle notification straight
+  to the sender (wired up by the harness), so it isolates the cost of
+  spurious retransmissions and slow starts.
+
+All receivers share cumulative-ACK emission with coalescing, per-QP CNP
+generation for DCQCN, and message-completion bookkeeping.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.packet import FlowKey, Packet, ack_packet, cnp_packet, \
+    nack_packet
+from repro.rnic.bitmap import OooTracker
+from repro.rnic.config import RnicConfig
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.metrics import Metrics
+    from repro.rnic.nic import Rnic
+
+
+class ReceiverQp:
+    """Common receiver-side state: ACK/CNP emission and completions."""
+
+    def __init__(self, sim: Simulator, nic: "Rnic", flow: FlowKey,
+                 config: RnicConfig, metrics: "Metrics") -> None:
+        self.sim = sim
+        self.nic = nic
+        self.flow = flow              # data direction (sender -> us)
+        self.config = config
+        self.metrics = metrics
+        self.stats = metrics.flow_stats(flow)
+
+        self.epsn = 0
+        self.nack_sent_for_epsn = False
+
+        self._expected: deque[tuple[int, Optional[Callable[[], None]]]] \
+            = deque()                 # (end_psn, callback)
+        self._posted_psns = 0
+
+        self._unacked_advance = 0
+        self._ack_event: Optional[Event] = None
+        self._last_cnp_ns: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Receive-side completions
+    # ------------------------------------------------------------------
+    def expect_message(self, nbytes: int,
+                       on_done: Optional[Callable[[], None]] = None
+                       ) -> None:
+        """Pre-post a receive: fire ``on_done`` once the message's PSN
+        range is fully (in-order-completable) received."""
+        npkts = self.config.packets_for(nbytes)
+        self._posted_psns += npkts
+        self._expected.append((self._posted_psns, on_done))
+        self._check_completions()
+
+    def _check_completions(self) -> None:
+        while self._expected and self._expected[0][0] <= self.epsn:
+            _, on_done = self._expected.popleft()
+            self.stats.receiver_done_ns = self.sim.now
+            if on_done is not None:
+                on_done()
+
+    # ------------------------------------------------------------------
+    # Packet entry point
+    # ------------------------------------------------------------------
+    def on_data(self, packet: Packet) -> None:
+        if packet.ecn_marked:
+            self._maybe_send_cnp()
+        self._handle_data(packet)
+
+    def _handle_data(self, packet: Packet) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # ACK emission (coalesced cumulative ACKs)
+    # ------------------------------------------------------------------
+    def _note_advance(self, advanced_by: int) -> None:
+        self._unacked_advance += advanced_by
+        if self._unacked_advance >= self.config.ack_coalesce_packets:
+            self._send_ack()
+        else:
+            self._schedule_delayed_ack()
+
+    def _schedule_delayed_ack(self) -> None:
+        if self._ack_event is None:
+            self._ack_event = self.sim.schedule(self.config.delayed_ack_ns,
+                                                self._delayed_ack_fire)
+
+    def _delayed_ack_fire(self) -> None:
+        self._ack_event = None
+        self._send_ack()
+
+    def _send_ack(self) -> None:
+        if self._ack_event is not None:
+            self._ack_event.cancel()
+            self._ack_event = None
+        self._unacked_advance = 0
+        self.metrics.on_ack_generated(self.flow)
+        self.nic.transmit(ack_packet(self.flow, self.epsn))
+
+    def _send_nack(self, trigger_psn: int | None = None) -> None:
+        """Emit a NACK for the current ePSN.
+
+        Commodity RNICs do not include the trigger PSN (§2.2); the
+        MPRDMA-style transport overrides ``trigger_psn`` to stamp it
+        into the packet's ``psn`` field.
+        """
+        self.metrics.on_nack_generated(self.flow)
+        nack = nack_packet(self.flow, self.epsn)
+        if trigger_psn is not None:
+            nack.psn = trigger_psn
+        self.nic.transmit(nack)
+
+    def _maybe_send_cnp(self) -> None:
+        now = self.sim.now
+        if (self._last_cnp_ns is not None
+                and now - self._last_cnp_ns < self.config.cnp_interval_ns):
+            return
+        self._last_cnp_ns = now
+        self.metrics.on_cnp_generated(self.flow)
+        self.nic.transmit(cnp_packet(self.flow))
+
+    def stop(self) -> None:
+        if self._ack_event is not None:
+            self._ack_event.cancel()
+            self._ack_event = None
+
+
+class NicSrReceiver(ReceiverQp):
+    """Selective-repeat receiver of current commodity RNICs (§2.2)."""
+
+    def __init__(self, sim: Simulator, nic: "Rnic", flow: FlowKey,
+                 config: RnicConfig, metrics: "Metrics") -> None:
+        super().__init__(sim, nic, flow, config, metrics)
+        self.tracker = OooTracker()
+
+    def _handle_data(self, packet: Packet) -> None:
+        psn = packet.psn
+        if psn < self.epsn or psn in self.tracker:
+            # Duplicate: the payload was already received — every one of
+            # these corresponds to a wasted (spurious or repeated)
+            # retransmission arriving.
+            self.stats.receiver_duplicates += 1
+            self._schedule_delayed_ack()
+            return
+        if psn == self.epsn:
+            self.metrics.on_delivered(self.flow, packet)
+            old = self.epsn
+            self.epsn = self.tracker.advance(psn + 1)
+            self.nack_sent_for_epsn = False
+            self._note_advance(self.epsn - old)
+            self._check_completions()
+            return
+        # PSN > ePSN: out-of-order arrival.  The commodity RNIC cannot
+        # tell multi-path skew from loss, assumes loss, and NACKs the
+        # expected PSN — but only once per ePSN value.
+        self.stats.receiver_ooo += 1
+        self.metrics.on_delivered(self.flow, packet)
+        self.tracker.add(psn)
+        if not self.nack_sent_for_epsn:
+            self.nack_sent_for_epsn = True
+            self._send_nack()
+
+
+class GbnReceiver(ReceiverQp):
+    """Go-Back-N receiver of previous-generation RNICs (CX-4/5)."""
+
+    def __init__(self, sim: Simulator, nic: "Rnic", flow: FlowKey,
+                 config: RnicConfig, metrics: "Metrics") -> None:
+        super().__init__(sim, nic, flow, config, metrics)
+        self.ooo_dropped = 0
+
+    def _handle_data(self, packet: Packet) -> None:
+        psn = packet.psn
+        if psn < self.epsn:
+            self.stats.receiver_duplicates += 1
+            self._schedule_delayed_ack()
+            return
+        if psn == self.epsn:
+            self.metrics.on_delivered(self.flow, packet)
+            self.epsn += 1
+            self.nack_sent_for_epsn = False
+            self._note_advance(1)
+            self._check_completions()
+            return
+        # OOO: dropped outright by this NIC generation.
+        self.stats.receiver_ooo += 1
+        self.ooo_dropped += 1
+        if not self.nack_sent_for_epsn:
+            self.nack_sent_for_epsn = True
+            self._send_nack()
+
+
+class IdealReceiver(ReceiverQp):
+    """Oracle transport: OOO-tolerant, loss repaired out of band."""
+
+    def __init__(self, sim: Simulator, nic: "Rnic", flow: FlowKey,
+                 config: RnicConfig, metrics: "Metrics") -> None:
+        super().__init__(sim, nic, flow, config, metrics)
+        self.tracker = OooTracker()
+
+    def _handle_data(self, packet: Packet) -> None:
+        psn = packet.psn
+        if psn < self.epsn or psn in self.tracker:
+            self.stats.receiver_duplicates += 1
+            self._schedule_delayed_ack()
+            return
+        self.metrics.on_delivered(self.flow, packet)
+        if psn == self.epsn:
+            old = self.epsn
+            self.epsn = self.tracker.advance(psn + 1)
+            self._note_advance(self.epsn - old)
+            self._check_completions()
+        else:
+            self.stats.receiver_ooo += 1
+            self.tracker.add(psn)
+
+
+class MpRdmaReceiver(NicSrReceiver):
+    """MPRDMA-style transport: NACKs carry the trigger PSN (§2.3).
+
+    Multi-path RDMA transport proposals fix the ambiguity at the NIC:
+    the NACK tells the sender *which* out-of-order packet triggered it,
+    so the sender (which knows the deterministic spraying policy) can
+    apply Eq. 3 itself and ignore skew-induced NACKs — no switch help
+    needed.  The paper's point is that no off-the-shelf RNIC implements
+    this; it lives here as the what-if comparator.
+    """
+
+    def _handle_data(self, packet: Packet) -> None:
+        psn = packet.psn
+        if psn < self.epsn or psn in self.tracker:
+            self.stats.receiver_duplicates += 1
+            self._schedule_delayed_ack()
+            return
+        if psn == self.epsn:
+            self.metrics.on_delivered(self.flow, packet)
+            old = self.epsn
+            self.epsn = self.tracker.advance(psn + 1)
+            self.nack_sent_for_epsn = False
+            self._note_advance(self.epsn - old)
+            self._check_completions()
+            return
+        self.stats.receiver_ooo += 1
+        self.metrics.on_delivered(self.flow, packet)
+        self.tracker.add(psn)
+        if not self.nack_sent_for_epsn:
+            self.nack_sent_for_epsn = True
+            self._send_nack(trigger_psn=psn)
+
+
+RECEIVER_CLASSES = {
+    "nic_sr": NicSrReceiver,
+    "gbn": GbnReceiver,
+    "ideal": IdealReceiver,
+    "mp_rdma": MpRdmaReceiver,
+}

@@ -1,0 +1,56 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` binds a callback (plus positional arguments) to a firing
+time.  Events are ordered by ``(time, seq)`` where ``seq`` is a monotonically
+increasing counter assigned by the scheduler, which makes execution order
+fully deterministic even when many events share a timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`repro.sim.engine.Simulator.schedule`;
+    user code normally only keeps the returned handle around to call
+    :meth:`cancel`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int,
+                 callback: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped.
+
+        Cancellation is O(1); the heap entry is lazily discarded.  Cancelling
+        an already-executed or already-cancelled event is a no-op.
+        """
+        self.cancelled = True
+        # Drop references early so cancelled events pinned in the heap do
+        # not keep packet graphs alive.
+        self.callback = _noop
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time}, seq={self.seq}, {name}, {state})"
+
+
+def _noop(*_args: Any) -> None:
+    """Placeholder callback installed by :meth:`Event.cancel`."""

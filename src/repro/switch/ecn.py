@@ -1,0 +1,60 @@
+"""ECN marking (DCQCN-style RED on instantaneous egress queue depth).
+
+DCQCN expects switches to mark the IP ECN bits with probability 0 below
+``kmin`` bytes of egress queue, rising linearly to ``pmax`` at ``kmax``,
+and 1.0 above ``kmax``.  Marking happens when a data packet is enqueued,
+based on the queue length it observes, which matches how shallow-buffer
+ASICs implement WRED.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import SimRng
+
+
+@dataclass(frozen=True)
+class EcnConfig:
+    """RED/ECN thresholds in bytes.
+
+    The defaults are sized for the 400 Gbps fabric of the paper's §5 setup
+    (scaled from the DCQCN deployment guidance of ~5 µs of line rate for
+    kmin).  Experiments override them per run.
+    """
+
+    kmin_bytes: int = 100_000
+    kmax_bytes: int = 400_000
+    pmax: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.kmin_bytes < 0 or self.kmax_bytes < self.kmin_bytes:
+            raise ValueError("require 0 <= kmin <= kmax")
+        if not 0.0 <= self.pmax <= 1.0:
+            raise ValueError("pmax must be in [0, 1]")
+
+
+class EcnMarker:
+    """Stateless marking decision from queue depth + config + RNG."""
+
+    def __init__(self, config: EcnConfig, rng: SimRng) -> None:
+        self.config = config
+        self._rng = rng
+        self.marked = 0
+        self.evaluated = 0
+
+    def should_mark(self, queue_bytes: int) -> bool:
+        """Decide marking for a packet that sees ``queue_bytes`` ahead."""
+        self.evaluated += 1
+        cfg = self.config
+        if queue_bytes <= cfg.kmin_bytes:
+            return False
+        if queue_bytes >= cfg.kmax_bytes:
+            self.marked += 1
+            return True
+        span = cfg.kmax_bytes - cfg.kmin_bytes
+        prob = cfg.pmax * (queue_bytes - cfg.kmin_bytes) / span
+        hit = self._rng.random() < prob
+        if hit:
+            self.marked += 1
+        return hit

@@ -1,0 +1,180 @@
+"""Load-balancing policies for equal-cost egress port selection.
+
+Implemented schemes:
+
+* :class:`EcmpLB` — flow-level hashing of the 5-tuple (the de-facto
+  baseline, §2.1).  The hash is **XOR-linear** in the UDP source port,
+  mirroring the hashing-linearity property of production ASICs that prior
+  work [37] exploits and that Themis's PathMap relies on (Fig. 3).
+* :class:`RandomSprayLB` — uniform random packet spraying [13].
+* :class:`AdaptiveRoutingLB` — per-packet adaptive routing: pick the
+  candidate egress port with the smallest queue backlog (ties broken by
+  round-robin), approximating switch AR implementations.
+* PSN-based spraying is *not* an LB here: it is applied by the Themis-S
+  middleware (:mod:`repro.themis.source`), which overrides port selection
+  at the source ToR only.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.net.packet import Packet
+from repro.sim.rng import SimRng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.port import Port
+    from repro.switch.switch import Switch
+
+#: Rotation applied to the UDP source port inside the fold — makes the
+#: PathMap construction exercise a non-identity (but still linear) delta.
+SPORT_ROTATION = 5
+
+
+def rotl16(value: int, amount: int) -> int:
+    """Rotate a 16-bit value left."""
+    amount %= 16
+    value &= 0xFFFF
+    return ((value << amount) | (value >> (16 - amount))) & 0xFFFF
+
+
+def rotr16(value: int, amount: int) -> int:
+    """Rotate a 16-bit value right (inverse of :func:`rotl16`)."""
+    return rotl16(value, 16 - (amount % 16))
+
+
+def ecmp_hash(src: int, dst: int, qp: int, udp_sport: int, *,
+              salt: int = 0, rot: int = SPORT_ROTATION) -> int:
+    """16-bit XOR-fold hash over the flow identity and UDP source port.
+
+    ``salt``/``rot`` are per-switch parameters (real ASICs seed their CRC
+    engines differently per box).  Linearity property exploited by the
+    PathMap: for any delta ``d``,
+    ``ecmp_hash(..., sport ^ d) == ecmp_hash(..., sport) ^ rotl16(d, rot)``.
+    """
+    acc = salt & 0xFFFF
+    for word in (src & 0xFFFF, (src >> 16) & 0xFFFF,
+                 dst & 0xFFFF, (dst >> 16) & 0xFFFF,
+                 qp & 0xFFFF):
+        acc ^= word
+        acc = rotl16(acc, 1)
+    acc ^= rotl16(udp_sport & 0xFFFF, rot)
+    return acc & 0xFFFF
+
+
+def ecmp_index(packet: Packet, n_candidates: int, *,
+               salt: int = 0, rot: int = SPORT_ROTATION) -> int:
+    """Candidate index ECMP picks for this packet."""
+    flow = packet.flow
+    return ecmp_hash(flow.src, flow.dst, flow.qp, packet.udp_sport,
+                     salt=salt, rot=rot) % n_candidates
+
+
+class LoadBalancer:
+    """Strategy interface: choose one egress port among equal-cost ones."""
+
+    name = "base"
+
+    def select(self, switch: "Switch", packet: Packet,
+               candidates: Sequence["Port"]) -> "Port":
+        raise NotImplementedError
+
+
+class EcmpLB(LoadBalancer):
+    """Flow hashing: every packet of a flow takes the same path."""
+
+    name = "ecmp"
+
+    def select(self, switch: "Switch", packet: Packet,
+               candidates: Sequence["Port"]) -> "Port":
+        return candidates[ecmp_index(packet, len(candidates),
+                                     salt=switch.hash_salt,
+                                     rot=switch.hash_rot)]
+
+
+class RandomSprayLB(LoadBalancer):
+    """Uniform random packet spraying (per-packet, stateless)."""
+
+    name = "rps"
+
+    def __init__(self, rng: SimRng) -> None:
+        self._rng = rng
+
+    def select(self, switch: "Switch", packet: Packet,
+               candidates: Sequence["Port"]) -> "Port":
+        return candidates[self._rng.choice(len(candidates))]
+
+
+class FlowletLB(LoadBalancer):
+    """Flowlet switching (CONGA/LetFlow-style, §2.3).
+
+    A flow may move to a new path only when a time gap larger than
+    ``gap_ns`` separates consecutive packets — large enough for in-flight
+    packets on the old path to drain, preserving order.  The paper's
+    §2.3 point: RNIC *hardware rate pacing* emits packets back to back,
+    so the gaps never appear and flowlet LB degenerates to per-flow
+    (ECMP-like) behaviour; shrinking the gap below the path-delay spread
+    trades that for reordering.  Both regimes are measurable here
+    (`benchmarks/test_flowlet_baseline.py`).
+    """
+
+    name = "flowlet"
+
+    def __init__(self, rng: SimRng, gap_ns: int = 50_000) -> None:
+        if gap_ns < 0:
+            raise ValueError("gap must be >= 0")
+        self._rng = rng
+        self.gap_ns = gap_ns
+        #: flow -> (candidate index, last packet timestamp)
+        self._state: dict = {}
+        self.flowlet_switches = 0
+
+    def select(self, switch: "Switch", packet: Packet,
+               candidates: Sequence["Port"]) -> "Port":
+        now = switch.sim.now
+        n = len(candidates)
+        state = self._state.get(packet.flow)
+        if state is not None:
+            index, last_ns = state
+            if now - last_ns < self.gap_ns and index < n:
+                self._state[packet.flow] = (index, now)
+                return candidates[index]
+        # Gap expired (or first packet): start a new flowlet on the
+        # least-loaded port, ties broken randomly.
+        best = min(port.queued_bytes for port in candidates)
+        ties = [i for i, port in enumerate(candidates)
+                if port.queued_bytes == best]
+        index = ties[self._rng.choice(len(ties))]
+        if state is not None and state[0] != index:
+            self.flowlet_switches += 1
+        self._state[packet.flow] = (index, now)
+        return candidates[index]
+
+
+class AdaptiveRoutingLB(LoadBalancer):
+    """Per-packet adaptive routing on local egress queue occupancy.
+
+    Switch ASICs quantize queue depth into coarse congestion bins and pick
+    pseudo-randomly among the least-congested ports, so consecutive
+    packets of one flow still interleave across several uplinks — the
+    per-packet reordering that makes "AR + commodity RNIC" the paper's
+    problem case.  ``bin_bytes`` is the quantization step.
+    """
+
+    name = "ar"
+
+    def __init__(self, rng: SimRng, bin_bytes: int = 4096) -> None:
+        if bin_bytes < 1:
+            raise ValueError("bin size must be positive")
+        self._rng = rng
+        self.bin_bytes = bin_bytes
+
+    def select(self, switch: "Switch", packet: Packet,
+               candidates: Sequence["Port"]) -> "Port":
+        best_bin = min(port.queued_bytes // self.bin_bytes
+                       for port in candidates)
+        ties = [port for port in candidates
+                if port.queued_bytes // self.bin_bytes == best_bin]
+        if len(ties) == 1:
+            return ties[0]
+        return ties[self._rng.choice(len(ties))]

@@ -1,0 +1,159 @@
+"""Switch data plane.
+
+A :class:`Switch` forwards packets through three stages:
+
+1. **Middleware chain** — programmable hooks (Themis-S / Themis-D live
+   here).  A middleware may consume or block a packet (returning ``False``
+   from :meth:`Middleware.on_packet`) or inject new packets by enqueueing
+   through the switch.
+2. **Route lookup** — ``routes[dst_nic]`` yields the set of equal-cost
+   egress ports computed by the topology builder.
+3. **Load balancing** — when several candidates exist, middleware gets the
+   first chance to pin the egress port (PSN-based spraying); otherwise the
+   switch's configured :class:`~repro.switch.lb.LoadBalancer` picks.
+   Control packets always use ECMP so ACK/NACK streams stay on one path.
+
+Egress ports use :class:`SwitchQueuePolicy`, which combines the shared
+buffer (drops) and the ECN marker.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.net.node import Device
+from repro.net.packet import Packet
+from repro.net.port import Port, QueuePolicy
+from repro.switch.buffer import SharedBuffer
+from repro.switch.ecn import EcnMarker
+from repro.switch.lb import LoadBalancer, ecmp_index
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.metrics import Metrics
+
+
+class Middleware:
+    """In-switch programmable hook (the role Tofino P4 code plays)."""
+
+    def on_packet(self, switch: "Switch", packet: Packet,
+                  in_port: Optional[Port]) -> bool:
+        """Inspect/modify a packet at ingress.
+
+        Return ``False`` to stop processing (packet blocked or consumed);
+        ``True`` to continue down the pipeline.
+        """
+        return True
+
+    def select_port(self, switch: "Switch", packet: Packet,
+                    candidates: Sequence[Port]) -> Optional[Port]:
+        """Override egress selection for data packets; ``None`` defers."""
+        return None
+
+    def disable(self) -> None:
+        """Administratively bypass this middleware (no-op by default)."""
+
+    def enable(self) -> None:
+        """Re-arm after :meth:`disable` (no-op by default)."""
+
+
+class SwitchQueuePolicy(QueuePolicy):
+    """Shared-buffer admission + ECN marking for one switch's ports."""
+
+    def __init__(self, buffer: SharedBuffer, marker: EcnMarker,
+                 switch: "Switch") -> None:
+        self.buffer = buffer
+        self.marker = marker
+        self.switch = switch
+
+    def admit(self, port: Port, packet: Packet) -> bool:
+        return self.buffer.can_admit(packet.wire_bytes, port.queued_bytes)
+
+    def on_enqueue(self, port: Port, packet: Packet) -> None:
+        self.buffer.reserve(packet.wire_bytes)
+        if not packet.ecn_marked and self.marker.should_mark(
+                port.queued_bytes):
+            packet.ecn_marked = True
+
+    def on_dequeue(self, port: Port, packet: Packet) -> None:
+        self.buffer.release(packet.wire_bytes)
+        if self.switch.pfc is not None:
+            self.switch.pfc.on_egress(packet)
+
+
+class Switch(Device):
+    """An output-queued switch with pluggable LB and middleware."""
+
+    def __init__(self, sim: Simulator, name: str, *,
+                 lb: LoadBalancer, buffer: SharedBuffer,
+                 ecn_marker: EcnMarker,
+                 metrics: "Metrics | None" = None) -> None:
+        super().__init__(sim, name)
+        self.lb = lb
+        self.buffer = buffer
+        self.ecn_marker = ecn_marker
+        self.metrics = metrics
+        self.routes: dict[int, list[Port]] = {}
+        self.down_nics: set[int] = set()
+        self.middleware: list[Middleware] = []
+        #: Optional PFC state machine (see repro.switch.pfc); installed
+        #: by the harness when the fabric runs lossless.
+        self.pfc = None
+        self._policy = SwitchQueuePolicy(buffer, ecn_marker, self)
+        # Per-switch hash seed/rotation: real ASICs configure their CRC
+        # engines per box, which is what makes multi-stage ECMP decorrelate
+        # (and what the PathMap construction has to account for).
+        self.hash_salt = zlib.crc32(name.encode()) & 0xFFFF
+        self.hash_rot = 1 + (zlib.crc32(name[::-1].encode()) % 15)
+
+    # ------------------------------------------------------------------
+    def add_port(self, bandwidth_bps: float, delay_ns: int) -> Port:
+        port = Port(self.sim, self, bandwidth_bps=bandwidth_bps,
+                    delay_ns=delay_ns)
+        port.policy = self._policy
+        port.on_drop = self._record_drop
+        return port
+
+    def add_middleware(self, mw: Middleware) -> None:
+        self.middleware.append(mw)
+
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, in_port: Optional[Port]) -> None:
+        if self.pfc is not None:
+            self.pfc.on_ingress(packet, in_port)
+        for mw in self.middleware:
+            if not mw.on_packet(self, packet, in_port):
+                if self.pfc is not None:
+                    self.pfc.on_egress(packet)  # consumed: credit ingress
+                return
+        self.forward(packet)
+
+    def forward(self, packet: Packet) -> None:
+        candidates = self.routes.get(packet.dst)
+        if not candidates:
+            raise LookupError(
+                f"{self.name}: no route to NIC {packet.dst}")
+        port = self._select(packet, candidates)
+        if not port.enqueue(packet) and self.pfc is not None:
+            self.pfc.on_egress(packet)  # dropped at admission: credit
+
+    def _select(self, packet: Packet, candidates: list[Port]) -> Port:
+        if len(candidates) == 1:
+            return candidates[0]
+        if packet.is_control:
+            # Control traffic stays on a single hashed path: commodity
+            # fabrics never spray the lossless ACK/NACK class.
+            return candidates[ecmp_index(packet, len(candidates),
+                                         salt=self.hash_salt,
+                                         rot=self.hash_rot)]
+        for mw in self.middleware:
+            chosen = mw.select_port(self, packet, candidates)
+            if chosen is not None:
+                return chosen
+        return self.lb.select(self, packet, candidates)
+
+    # ------------------------------------------------------------------
+    def _record_drop(self, packet: Packet, port: Port) -> None:
+        if self.metrics is not None:
+            self.metrics.on_drop(packet, self, port)

@@ -1,0 +1,74 @@
+"""Deployed-state audit: measured switch memory vs the §4 model.
+
+The §4 estimate assumes a worst-case QP census; a running fabric lets us
+*count* the state Themis actually allocated (flow-table entries, ring
+capacities) and price it with the same per-entry constants.  The audit
+bench compares the two, closing the loop between the analytical model
+and the implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.themis.dest import ThemisDest
+from repro.themis.memory import FLOW_ENTRY_BYTES, PATHMAP_ENTRY_BYTES, \
+    QUEUE_ENTRY_BYTES
+from repro.themis.source import ThemisSource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.switch.switch import Switch
+
+
+@dataclass(frozen=True)
+class SwitchAudit:
+    """Measured Themis state on one ToR."""
+
+    switch_name: str
+    flow_entries: int
+    queue_entry_slots: int
+    pathmap_entries: int
+
+    @property
+    def dest_bytes(self) -> int:
+        return (self.flow_entries * FLOW_ENTRY_BYTES
+                + self.queue_entry_slots * QUEUE_ENTRY_BYTES)
+
+    @property
+    def source_bytes(self) -> int:
+        return self.pathmap_entries * PATHMAP_ENTRY_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        return self.dest_bytes + self.source_bytes
+
+
+def audit_switch(switch: "Switch") -> SwitchAudit:
+    """Price the Themis state currently held by one switch."""
+    flow_entries = 0
+    queue_slots = 0
+    pathmap_entries = 0
+    for mw in switch.middleware:
+        if isinstance(mw, ThemisDest):
+            for entry in mw.table.entries():
+                flow_entries += 1
+                # Entries using widened PSNs (non-power-of-two N) are
+                # priced at their actual width.
+                width_bytes = max(1, entry.queue.psn_bits // 8)
+                queue_slots += entry.queue.capacity * width_bytes
+        elif isinstance(mw, ThemisSource):
+            if mw.config.spray_mode == "pathmap":
+                pathmap_entries += sum(len(pm) for pm
+                                       in mw._pathmaps.values())
+            else:
+                # Direct mode keeps one base-path word per flow instead
+                # of a PathMap; price it like one entry per flow.
+                pathmap_entries += len(mw._base_cache)
+    return SwitchAudit(switch.name, flow_entries, queue_slots,
+                       pathmap_entries)
+
+
+def audit_network(network) -> list[SwitchAudit]:
+    """Audit every ToR of a :class:`repro.harness.network.Network`."""
+    return [audit_switch(tor) for tor in network.topology.tors]

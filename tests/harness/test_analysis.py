@@ -1,0 +1,74 @@
+"""Tests for utilization/fairness analysis."""
+
+import pytest
+
+from repro.harness.analysis import (flow_fairness, jain_fairness,
+                                    link_utilization, uplink_imbalance)
+from repro.harness.network import Network, NetworkConfig, TopologySpec
+
+TOPO = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=4,
+                    nics_per_tor=4, link_bandwidth_bps=25e9)
+
+
+def loaded(scheme, seed=3, nbytes=500_000):
+    net = Network(NetworkConfig(topology=TOPO, scheme=scheme, seed=seed))
+    # Four cross-rack flows from rack 0 to rack 1.
+    for i in range(4):
+        net.post_message(i, 4 + i, nbytes)
+    net.run(until_ns=30_000_000_000)
+    assert net.metrics.all_flows_done()
+    return net
+
+
+class TestJain:
+    def test_perfectly_fair(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog(self):
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) \
+            == pytest.approx(0.25)
+
+    def test_empty_is_fair(self):
+        assert jain_fairness([]) == 1.0
+
+    def test_zero_sum_is_fair(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+class TestLinkUtilization:
+    def test_reports_only_interswitch_links(self):
+        net = loaded("ecmp")
+        links = link_utilization(net)
+        # 2 tors x 4 spines x 2 directions = 16 directed links.
+        assert len(links) == 16
+        assert all(0.0 <= u.busy_fraction <= 1.0 for u in links)
+
+    def test_bytes_conserved_in_one_direction(self):
+        net = loaded("themis")
+        up = sum(u.bytes_sent for u in link_utilization(net)
+                 if u.src == "tor0")
+        # Everything rack 0 sent crossed its uplinks (plus control).
+        posted = sum(f.bytes_posted for f in net.metrics.flows.values())
+        assert up >= posted
+
+    def test_spray_balances_uplinks(self):
+        ecmp = uplink_imbalance(loaded("ecmp"), "tor0")
+        themis = uplink_imbalance(loaded("themis"), "tor0")
+        assert themis < ecmp
+        assert themis == pytest.approx(1.0, abs=0.15)
+
+    def test_unknown_tor_is_balanced_vacuously(self):
+        net = loaded("ecmp")
+        assert uplink_imbalance(net, "nonexistent") == 1.0
+
+
+class TestFlowFairness:
+    def test_spraying_more_fair_than_ecmp(self):
+        # With 4 flows hashed onto 4 uplinks, collisions make some flows
+        # slower; spraying equalizes.
+        assert flow_fairness(loaded("themis")) \
+            >= flow_fairness(loaded("ecmp"))
+
+    def test_fairness_in_unit_range(self):
+        value = flow_fairness(loaded("rps"))
+        assert 0.0 < value <= 1.0

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_memory_defaults(self):
+        args = build_parser().parse_args(["memory"])
+        assert args.n_paths == 256
+        assert args.bandwidth_gbps == 400.0
+
+    def test_motivation_scheme_validation(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["motivation", "--scheme", "nope"])
+
+
+class TestCommands:
+    def test_memory_output(self, capsys):
+        assert main(["memory"]) == 0
+        out = capsys.readouterr().out
+        assert "192512" in out
+        assert "192.5" in out
+
+    def test_memory_custom_params(self, capsys):
+        assert main(["memory", "--n-qp", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "384512" in out  # 512 + 120*200*16
+
+    def test_motivation_small(self, capsys):
+        rc = main(["motivation", "--flow-bytes", "200000",
+                   "--scheme", "themis"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spurious retx ratio" in out
+        assert "mean goodput" in out
+
+    def test_pathmap(self, capsys):
+        assert main(["pathmap", "--k", "4", "--src", "0",
+                     "--dst", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "PSN mod N" in out
+        assert "core" in out
+
+    def test_collective_quick(self, capsys):
+        rc = main(["collective", "--collective", "allgather",
+                   "--scheme", "themis", "--ti-us", "10",
+                   "--td-us", "200"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tail completion" in out
+
+
+class TestJsonExport:
+    def test_collective_json_export(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        rc = main(["collective", "--collective", "allgather",
+                   "--scheme", "ecmp", "--ti-us", "10",
+                   "--td-us", "200", "--json", str(out)])
+        assert rc == 0
+        import json
+        payload = json.loads(out.read_text())
+        assert payload["scheme"] == "ecmp"
+        assert payload["completed"]
+        assert payload["tail_completion_ms"] > 0

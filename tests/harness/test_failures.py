@@ -1,0 +1,107 @@
+"""Tests for §6 link-failure tolerance: fail, revert to ECMP, heal."""
+
+import pytest
+
+from repro.harness.network import Network, NetworkConfig, TopologySpec
+
+TOPO = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=2,
+                    nics_per_tor=2, link_bandwidth_bps=25e9)
+
+
+def make(scheme="themis"):
+    return Network(NetworkConfig(topology=TOPO, scheme=scheme, seed=3))
+
+
+class TestFailLink:
+    def test_dead_port_leaves_candidate_sets(self):
+        net = make()
+        net.fail_link("tor0", "spine0")
+        tor0 = net.topology.tors[0]
+        candidates = tor0.routes[2]
+        assert len(candidates) == 1
+        assert candidates[0].peer.name == "spine1"
+
+    def test_both_directions_fail(self):
+        net = make()
+        net.fail_link("tor0", "spine0")
+        spine0 = next(s for s in net.topology.switches
+                      if s.name == "spine0")
+        tor0 = net.topology.tors[0]
+        assert any(not p.up for p in spine0.ports)
+        assert any(not p.up for p in tor0.ports)
+
+    def test_unknown_switch_raises(self):
+        net = make()
+        with pytest.raises(LookupError):
+            net.fail_link("tor0", "nope")
+
+    def test_unconnected_pair_raises(self):
+        net = make()
+        with pytest.raises(LookupError):
+            net.fail_link("tor0", "tor1")
+
+    def test_double_failure_of_same_link_raises(self):
+        net = make()
+        net.fail_link("tor0", "spine0")
+        with pytest.raises(LookupError):
+            net.fail_link("tor0", "spine0")
+
+    def test_partition_raises(self):
+        net = make()
+        net.fail_link("tor0", "spine0")
+        with pytest.raises(RuntimeError):
+            net.fail_link("tor0", "spine1")  # tor0 would be cut off
+
+
+class TestThemisFallback:
+    def test_failure_disables_themis(self):
+        net = make()
+        net.fail_link("tor0", "spine0")
+        for tor in net.topology.tors:
+            assert all(not mw.enabled for mw in tor.middleware)
+
+    def test_traffic_completes_after_failure(self):
+        net = make()
+        net.fail_link("tor0", "spine0")
+        net.post_message(0, 2, 200_000)
+        net.post_message(3, 1, 200_000)
+        net.run(until_ns=10_000_000_000)
+        assert net.metrics.all_flows_done()
+        # With Themis disabled, no packet was sprayed / no NACK touched.
+        assert net.metrics.themis.nacks_inspected == 0
+
+    def test_mid_flight_failure_still_completes(self):
+        net = make()
+        net.post_message(0, 2, 2_000_000)
+        net.post_message(1, 3, 2_000_000)
+        net.run(until_ns=20_000)           # let traffic start
+        net.fail_link("tor0", "spine1")
+        net.run(until_ns=30_000_000_000)
+        assert net.metrics.all_flows_done()
+
+    def test_heal_restores_routes_and_themis(self):
+        net = make()
+        net.fail_link("tor0", "spine0")
+        net.heal_links()
+        tor0 = net.topology.tors[0]
+        assert len(tor0.routes[2]) == 2
+        for tor in net.topology.tors:
+            assert all(mw.enabled for mw in tor.middleware)
+
+    def test_heal_resets_dest_state(self):
+        net = make()
+        net.post_message(0, 2, 200_000)
+        net.run(until_ns=10_000_000_000)
+        net.fail_link("tor0", "spine0")
+        net.heal_links()
+        dest = next(mw for tor in net.topology.tors
+                    for mw in tor.middleware
+                    if hasattr(mw, "table"))
+        assert len(dest.table) == 0
+
+    def test_ecmp_scheme_failure_works_without_middleware(self):
+        net = make(scheme="ecmp")
+        net.fail_link("tor0", "spine0")
+        net.post_message(0, 2, 100_000)
+        net.run(until_ns=10_000_000_000)
+        assert net.metrics.all_flows_done()

@@ -1,0 +1,86 @@
+"""Tests for ASCII figure rendering and result export."""
+
+import csv
+import json
+
+from repro.harness.export import FLOW_FIELDS, flows_to_csv, run_to_json
+from repro.harness.figures import (bar_chart, grouped_bar_chart,
+                                   line_panel, render_fig1)
+from repro.harness.motivation import motivation_config, run_motivation
+from repro.harness.network import Network, NetworkConfig, TopologySpec
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_proportional_bars(self):
+        out = bar_chart([("a", 10.0), ("b", 5.0)])
+        lines = out.splitlines()
+        assert lines[0].count("█") > lines[1].count("█")
+
+    def test_unit_suffix(self):
+        assert "ms" in bar_chart([("x", 1.0)], unit=" ms")
+
+    def test_grouped(self):
+        out = grouped_bar_chart({"g1": {"a": 1.0, "b": 2.0},
+                                 "g2": {"a": 3.0}})
+        assert "g1:" in out and "g2:" in out
+        assert out.count("|") == 3
+
+
+class TestLinePanel:
+    def test_empty(self):
+        assert line_panel([]) == "(empty series)"
+
+    def test_renders_extremes(self):
+        series = [(0, 0.0), (1000, 100.0), (2000, 50.0)]
+        out = line_panel(series)
+        assert "100.00" in out
+        assert "0.00" in out
+        assert "·" in out
+
+    def test_single_point(self):
+        out = line_panel([(500, 42.0)])
+        assert "42.00" in out
+
+
+class TestRenderFig1:
+    def test_full_panel(self):
+        result = run_motivation(motivation_config(),
+                                flow_bytes=1_500_000)
+        out = render_fig1(result)
+        assert "(1b)" in out and "(1c)" in out and "(1d)" in out
+        assert "Gbps" in out
+
+
+class TestExport:
+    def _run(self):
+        topo = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=2,
+                            nics_per_tor=2, link_bandwidth_bps=25e9)
+        net = Network(NetworkConfig(topology=topo, scheme="themis"))
+        net.post_message(0, 2, 100_000)
+        net.post_message(3, 1, 50_000)
+        net.run(until_ns=10_000_000_000)
+        return net
+
+    def test_flows_to_csv(self, tmp_path):
+        net = self._run()
+        path = flows_to_csv(net.metrics, tmp_path / "flows.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert set(rows[0]) == set(FLOW_FIELDS)
+        by_src = {row["src"]: row for row in rows}
+        assert by_src["0"]["bytes_posted"] == "100000"
+        assert float(by_src["0"]["goodput_gbps"]) > 0
+
+    def test_run_to_json(self, tmp_path):
+        net = self._run()
+        path = run_to_json(net.metrics, tmp_path / "run.json",
+                           extra={"scheme": "themis"})
+        payload = json.loads(path.read_text())
+        assert payload["experiment"]["scheme"] == "themis"
+        assert len(payload["flows"]) == 2
+        assert "nacks_blocked" in payload["themis"]
+        assert payload["summary"]["data_packets_sent"] > 0

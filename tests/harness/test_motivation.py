@@ -1,0 +1,99 @@
+"""Shape tests for the Fig. 1 motivation pipeline (scaled small for CI).
+
+These assert the paper's *qualitative* claims; the benchmarks regenerate
+the full-size panels.
+"""
+
+import pytest
+
+from repro.harness.motivation import (motivation_config, run_motivation,
+                                      run_fig1d_comparison)
+
+FLOW_BYTES = 2_000_000  # small enough for quick tests, long enough that
+                        # the flow spans several 100 us trace windows
+
+
+@pytest.fixture(scope="module")
+def nic_sr_result():
+    return run_motivation(motivation_config(), flow_bytes=FLOW_BYTES)
+
+
+@pytest.fixture(scope="module")
+def ideal_result():
+    return run_motivation(motivation_config(transport="ideal"),
+                          flow_bytes=FLOW_BYTES)
+
+
+class TestFig1bRetransmissions:
+    def test_no_real_loss_occurs(self, nic_sr_result):
+        """§2.2: 'we observe that no packet loss occurs'."""
+        assert nic_sr_result.drops == 0
+
+    def test_yet_retransmissions_happen(self, nic_sr_result):
+        """... while the spurious retransmission ratio stays well above
+        zero (paper: 16% average)."""
+        assert nic_sr_result.avg_retx_ratio > 0.02
+
+    def test_ratio_series_nonempty(self, nic_sr_result):
+        assert len(nic_sr_result.retx_ratio_series) >= 3
+        assert all(0 <= v <= 1 for _, v in nic_sr_result.retx_ratio_series)
+
+
+class TestFig1cRate:
+    def test_rate_dips_below_line(self, nic_sr_result):
+        """NACKs trigger slow starts: the average rate sits below line."""
+        assert nic_sr_result.avg_rate_gbps < 0.95 * 100.0
+
+    def test_rate_trace_shows_cuts(self, nic_sr_result):
+        values = [v for _, v in nic_sr_result.rate_series_gbps]
+        assert values, "watched flow should have rate changes"
+        assert min(values) < 60.0
+
+    def test_ideal_keeps_line_rate(self, ideal_result):
+        assert ideal_result.avg_rate_gbps == pytest.approx(100.0)
+
+
+class TestFig1dThroughput:
+    def test_nic_sr_well_below_ideal(self, nic_sr_result, ideal_result):
+        """Paper: 68 vs 95 Gbps (~71%).  Assert a clear gap."""
+        assert ideal_result.mean_goodput_gbps > 80.0
+        ratio = (nic_sr_result.mean_goodput_gbps
+                 / ideal_result.mean_goodput_gbps)
+        assert ratio < 0.9
+
+    def test_ideal_has_no_nacks(self, ideal_result):
+        assert ideal_result.nacks == 0
+        assert ideal_result.avg_retx_ratio == 0.0
+
+    def test_comparison_helper(self):
+        results = run_fig1d_comparison(flow_bytes=FLOW_BYTES)
+        assert set(results) == {"nic_sr", "ideal"}
+        assert results["ideal"].mean_goodput_gbps \
+            > results["nic_sr"].mean_goodput_gbps
+
+
+class TestThemisOnMotivation:
+    """Running Themis on the same workload removes most of the damage."""
+
+    @pytest.fixture(scope="class")
+    def themis_result(self):
+        return run_motivation(motivation_config(scheme="themis"),
+                              flow_bytes=FLOW_BYTES)
+
+    def test_blocks_most_nacks(self, themis_result):
+        themis = themis_result.summary
+        assert themis["themis_blocked"] > 0
+        blocked_frac = themis["themis_blocked"] / (
+            themis["themis_blocked"] + themis["themis_forwarded"])
+        assert blocked_frac > 0.8
+
+    def test_retx_far_below_rps(self, themis_result, nic_sr_result):
+        assert themis_result.avg_retx_ratio \
+            < 0.5 * nic_sr_result.avg_retx_ratio
+
+    def test_goodput_beats_rps(self, themis_result, nic_sr_result):
+        assert themis_result.mean_goodput_gbps \
+            > nic_sr_result.mean_goodput_gbps
+
+    def test_no_compensation_needed_without_loss(self, themis_result):
+        assert themis_result.summary["themis_compensated"] == 0

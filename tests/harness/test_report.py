@@ -1,0 +1,59 @@
+"""Unit tests for reporting helpers."""
+
+import json
+
+from repro.harness.report import (format_series, format_table, percent,
+                                  sparkline, write_json)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"],
+                           [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+        # All rows share the same width.
+        assert len({len(line.rstrip()) for line in lines[2:]}) <= 2
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert out.splitlines()[0] == "a"
+
+
+class TestFormatSeries:
+    def test_empty(self):
+        assert "empty" in format_series([])
+
+    def test_downsamples(self):
+        series = [(i * 1000, float(i)) for i in range(100)]
+        out = format_series(series, max_rows=10)
+        assert len(out.splitlines()) <= 12
+
+    def test_includes_last_point(self):
+        series = [(i * 1000, float(i)) for i in range(7)]
+        out = format_series(series)
+        assert "6.000" in out
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_shape(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        assert len(sparkline([5.0] * 10)) == 10
+
+
+def test_percent():
+    assert percent(0.156) == "15.6%"
+
+
+def test_write_json(tmp_path):
+    path = write_json(tmp_path / "out" / "r.json", {"a": 1})
+    assert json.loads(path.read_text()) == {"a": 1}

@@ -1,0 +1,110 @@
+"""Tests for the packet tracer — including the end-to-end Eq. 1 check."""
+
+import json
+
+from repro.harness.network import Network, NetworkConfig, TopologySpec
+from repro.harness.tracer import attach_tracer
+from repro.net.packet import FlowKey
+
+TOPO = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=4,
+                    nics_per_tor=1, link_bandwidth_bps=25e9)
+
+
+def traced_run(scheme, nbytes=150_000, flow=None):
+    net = Network(NetworkConfig(topology=TOPO, scheme=scheme, seed=2))
+    tracer = attach_tracer(net, flow=flow)
+    net.post_message(0, 1, nbytes)
+    net.run(until_ns=10_000_000_000)
+    assert net.metrics.all_flows_done()
+    return net, tracer
+
+
+class TestCapture:
+    def test_records_every_hop(self):
+        net, tracer = traced_run("ecmp")
+        # Any data packet crosses tor0 -> spineX -> tor1 = 3 switches.
+        first_data = next(e for e in tracer.events if e.ptype == "data")
+        hops = [e.location for e in tracer.hops_of(first_data.pkt_id)]
+        assert len(hops) == 3
+        assert hops[0] == "tor0"
+        assert hops[1].startswith("spine")
+        assert hops[2] == "tor1"
+
+    def test_flow_filter(self):
+        net = Network(NetworkConfig(topology=TOPO, scheme="ecmp", seed=2))
+        tracer = attach_tracer(net, flow=FlowKey(0, 1, 7))
+        net.post_message(0, 1, 50_000, qp=7)
+        net.post_message(1, 0, 50_000, qp=3)  # different flow: ignored
+        net.run(until_ns=10_000_000_000)
+        assert tracer.events
+        assert all(e.qp == 7 for e in tracer.events)
+
+    def test_acks_captured_on_reverse_flow_filter(self):
+        net, tracer = traced_run("ecmp", flow=FlowKey(0, 1, 0))
+        assert any(e.ptype == "ack" for e in tracer.events)
+
+    def test_max_events_truncates(self):
+        net = Network(NetworkConfig(topology=TOPO, scheme="ecmp", seed=2))
+        tracer = attach_tracer(net)
+        tracer.max_events = 10
+        net.post_message(0, 1, 150_000)
+        net.run(until_ns=10_000_000_000)
+        assert len(tracer.events) == 10
+        assert tracer.truncated
+
+    def test_write_jsonl(self, tmp_path):
+        net, tracer = traced_run("ecmp", nbytes=20_000)
+        path = tracer.write_jsonl(tmp_path / "cap" / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(tracer.events)
+        event = json.loads(lines[0])
+        assert {"time_ns", "location", "ptype", "psn"} <= set(event)
+
+
+class TestEq1EndToEnd:
+    def test_psn_residue_determines_spine(self):
+        """The tracer proves Eq. 1 on the wire: under Themis every data
+        packet's spine is a function of PSN mod N only."""
+        net, tracer = traced_run("themis", nbytes=300_000)
+        n = 4  # spines
+        spine_by_residue = {}
+        for event in tracer.events:
+            if event.ptype != "data" or event.location != "tor0":
+                continue
+            spine = tracer.spine_of(event.pkt_id)
+            residue = event.psn % n
+            spine_by_residue.setdefault(residue, set()).add(spine)
+        assert set(spine_by_residue) == {0, 1, 2, 3}
+        for residue, spines in spine_by_residue.items():
+            assert len(spines) == 1, f"residue {residue} split: {spines}"
+        distinct = {next(iter(s)) for s in spine_by_residue.values()}
+        assert len(distinct) == 4
+
+    def test_ecmp_single_path(self):
+        net, tracer = traced_run("ecmp")
+        spines = {tracer.spine_of(e.pkt_id) for e in tracer.events
+                  if e.ptype == "data" and e.location == "tor0"}
+        assert len(spines) == 1
+
+    def test_rps_uses_many_paths(self):
+        net, tracer = traced_run("rps")
+        spines = {tracer.spine_of(e.pkt_id) for e in tracer.events
+                  if e.ptype == "data" and e.location == "tor0"}
+        assert len(spines) == 4
+
+
+class TestQueryHelpers:
+    def test_packets_by_psn(self):
+        net, tracer = traced_run("themis", nbytes=50_000)
+        events = tracer.packets_by_psn(0)
+        assert events
+        assert all(e.psn == 0 and e.ptype == "data" for e in events)
+
+    def test_nack_events_collected_when_present(self):
+        net, tracer = traced_run("rps", nbytes=150_000)
+        nacks = tracer.nack_events()
+        assert all(e.ptype == "nack" for e in nacks)
+
+    def test_spine_of_unknown_packet(self):
+        net, tracer = traced_run("ecmp", nbytes=20_000)
+        assert tracer.spine_of(-1) is None

@@ -1,0 +1,70 @@
+"""Unit tests for the packet model."""
+
+from repro.net.packet import (CONTROL_PACKET_BYTES, DATA_HEADER_BYTES,
+                              FlowKey, PacketType, ack_packet, cnp_packet,
+                              data_packet, nack_packet)
+
+
+class TestFlowKey:
+    def test_reversed(self):
+        flow = FlowKey(1, 2, 5)
+        rev = flow.reversed()
+        assert (rev.src, rev.dst, rev.qp) == (2, 1, 5)
+        assert rev.reversed() == flow
+
+    def test_hashable_and_equal(self):
+        assert FlowKey(1, 2, 0) == FlowKey(1, 2, 0)
+        assert len({FlowKey(1, 2, 0), FlowKey(1, 2, 0),
+                    FlowKey(1, 2, 1)}) == 2
+
+    def test_str(self):
+        assert str(FlowKey(3, 4, 2)) == "3->4#2"
+
+
+class TestDataPacket:
+    def test_wire_size_includes_headers(self):
+        pkt = data_packet(FlowKey(0, 1), psn=7, payload_bytes=1000)
+        assert pkt.wire_bytes == 1000 + DATA_HEADER_BYTES
+        assert pkt.is_data
+        assert not pkt.is_control
+
+    def test_addressing_follows_flow(self):
+        pkt = data_packet(FlowKey(3, 9), psn=0, payload_bytes=100)
+        assert pkt.src == 3
+        assert pkt.dst == 9
+
+    def test_unique_ids(self):
+        flow = FlowKey(0, 1)
+        a = data_packet(flow, 0, 10)
+        b = data_packet(flow, 0, 10)
+        assert a.pkt_id != b.pkt_id
+
+    def test_retx_flag(self):
+        pkt = data_packet(FlowKey(0, 1), 5, 10, is_retx=True)
+        assert pkt.is_retx
+
+
+class TestControlPackets:
+    def test_ack_travels_reverse_and_carries_epsn(self):
+        flow = FlowKey(1, 2)
+        ack = ack_packet(flow, epsn=42)
+        assert ack.ptype is PacketType.ACK
+        assert ack.flow == flow.reversed()
+        assert ack.epsn == 42
+        assert ack.wire_bytes == CONTROL_PACKET_BYTES
+        assert ack.is_control
+
+    def test_nack_carries_only_epsn(self):
+        nack = nack_packet(FlowKey(1, 2), epsn=10)
+        assert nack.ptype is PacketType.NACK
+        assert nack.epsn == 10
+        # Faithful to §2.2: no tPSN field exists on the packet at all.
+        assert not hasattr(nack, "tpsn")
+
+    def test_cnp(self):
+        cnp = cnp_packet(FlowKey(5, 6))
+        assert cnp.ptype is PacketType.CNP
+        assert cnp.flow == FlowKey(6, 5)
+
+    def test_control_never_marked_initially(self):
+        assert not nack_packet(FlowKey(0, 1), 0).ecn_marked

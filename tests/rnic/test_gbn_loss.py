@@ -1,0 +1,61 @@
+"""Go-Back-N under loss and spraying: the CX-4/5 story end to end."""
+
+from repro.collectives.group import interleaved_ring_groups
+from repro.harness.motivation import motivation_config
+from repro.harness.network import Network, NetworkConfig, TopologySpec
+
+SMALL = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=2,
+                     nics_per_tor=2, link_bandwidth_bps=25e9)
+
+
+class TestGbnRecovery:
+    def test_gbn_completes_under_loss(self):
+        net = Network(NetworkConfig(topology=SMALL, transport="gbn",
+                                    scheme="ecmp", seed=5))
+        for sw in net.topology.switches:
+            if sw.name.startswith("spine"):
+                for port in sw.ports:
+                    port.set_loss(0.005, net.rng.fork(f"l{port.name}"))
+        net.post_message(0, 2, 300_000)
+        net.post_message(1, 3, 300_000)
+        net.run(until_ns=120_000_000_000)
+        assert net.metrics.all_flows_done()
+        assert net.metrics.drops > 0
+        # Every loss costs a whole window of retransmissions under GBN.
+        assert net.metrics.retransmissions >= net.metrics.drops
+
+    def test_gbn_retransmits_more_than_sr_for_same_loss(self):
+        def retx(transport):
+            net = Network(NetworkConfig(topology=SMALL,
+                                        transport=transport,
+                                        scheme="ecmp", seed=5))
+            for sw in net.topology.switches:
+                if sw.name.startswith("spine"):
+                    for port in sw.ports:
+                        port.set_loss(0.005,
+                                      net.rng.fork(f"l{port.name}"))
+            net.post_message(0, 2, 300_000)
+            net.run(until_ns=120_000_000_000)
+            assert net.metrics.all_flows_done()
+            return net.metrics.retransmissions
+
+        assert retx("gbn") > retx("nic_sr")
+
+    def test_gbn_with_spraying_degrades_catastrophically(self):
+        """§1's motivation for the NIC-SR generation: under spraying a
+        GBN receiver throws away every OOO arrival, so the goodput
+        collapse dwarfs NIC-SR's."""
+        def goodput(transport):
+            net = Network(motivation_config(transport=transport, seed=6))
+            for members in interleaved_ring_groups(8, 2):
+                for i, node in enumerate(members):
+                    net.post_message(node,
+                                     members[(i + 1) % len(members)],
+                                     500_000)
+            net.run(until_ns=120_000_000_000)
+            assert net.metrics.all_flows_done()
+            value = net.metrics.mean_goodput_gbps()
+            net.stop()
+            return value
+
+        assert goodput("gbn") < 0.6 * goodput("nic_sr")

@@ -1,0 +1,174 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import MS, NS, SEC, US, SimulationError, Simulator
+
+
+def test_time_constants():
+    assert NS == 1
+    assert US == 1_000
+    assert MS == 1_000_000
+    assert SEC == 1_000_000_000
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(5, order.append, label)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(100, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [100]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append(("outer", sim.now))
+            sim.schedule(5, inner)
+
+        def inner():
+            order.append(("inner", sim.now))
+
+        sim.schedule(10, outer)
+        sim.run()
+        assert order == [("outer", 10), ("inner", 15)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        ran = []
+        event = sim.schedule(10, ran.append, 1)
+        event.cancel()
+        sim.run()
+        assert ran == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        ran = []
+        keep = sim.schedule(10, ran.append, "keep")
+        drop = sim.schedule(10, ran.append, "drop")
+        drop.cancel()
+        sim.run()
+        assert ran == ["keep"]
+        assert not keep.cancelled
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(10, ran.append, "early")
+        sim.schedule(100, ran.append, "late")
+        sim.run(until=50)
+        assert ran == ["early"]
+        assert sim.now == 50
+        sim.run()
+        assert ran == ["early", "late"]
+
+    def test_end_time_blocks_late_events(self):
+        sim = Simulator(end_time=50)
+        ran = []
+        sim.schedule(100, ran.append, 1)
+        assert sim.run() == 0
+        assert ran == []
+
+    def test_step_executes_single_event(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(1, ran.append, "a")
+        sim.schedule(2, ran.append, "b")
+        assert sim.step()
+        assert ran == ["a"]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_executed_counter(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.executed == 7
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_run_returns_executed_count(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        assert sim.run() == 2
+
+
+def test_determinism_two_identical_runs():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def tick(n):
+            log.append((sim.now, n))
+            if n < 20:
+                sim.schedule(n % 3 + 1, tick, n + 1)
+
+        sim.schedule(0, tick, 0)
+        sim.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,35 @@
+"""Unit tests for Event primitives."""
+
+from repro.sim.events import Event
+
+
+class TestOrdering:
+    def test_time_orders_first(self):
+        early = Event(10, 5, lambda: None, ())
+        late = Event(20, 1, lambda: None, ())
+        assert early < late
+        assert not late < early
+
+    def test_seq_breaks_ties(self):
+        first = Event(10, 1, lambda: None, ())
+        second = Event(10, 2, lambda: None, ())
+        assert first < second
+
+
+class TestCancel:
+    def test_cancel_releases_references(self):
+        """Cancelled events pinned in the heap must not keep packet
+        graphs alive (they are lazily discarded)."""
+        payload = object()
+        event = Event(5, 0, lambda x: None, (payload,))
+        event.cancel()
+        assert event.cancelled
+        assert event.args == ()
+        # The callback is swapped for a no-op and stays callable.
+        event.callback()
+
+    def test_double_cancel_safe(self):
+        event = Event(5, 0, lambda: None, ())
+        event.cancel()
+        event.cancel()
+        assert event.cancelled

@@ -1,0 +1,87 @@
+"""Unit tests for shared buffer accounting and ECN marking."""
+
+import pytest
+
+from repro.sim.rng import SimRng
+from repro.switch.buffer import SharedBuffer
+from repro.switch.ecn import EcnConfig, EcnMarker
+
+
+class TestSharedBuffer:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SharedBuffer(0)
+
+    def test_admit_until_full(self):
+        buf = SharedBuffer(1000)
+        assert buf.can_admit(600, 0)
+        buf.reserve(600)
+        assert not buf.can_admit(500, 0)
+        assert buf.can_admit(400, 0)
+
+    def test_release_frees_space(self):
+        buf = SharedBuffer(1000)
+        buf.reserve(800)
+        buf.release(800)
+        assert buf.used_bytes == 0
+        assert buf.can_admit(1000, 0)
+
+    def test_peak_tracking(self):
+        buf = SharedBuffer(1000)
+        buf.reserve(300)
+        buf.reserve(400)
+        buf.release(700)
+        assert buf.peak_bytes == 700
+
+    def test_per_port_cap(self):
+        buf = SharedBuffer(10_000, per_port_cap_bytes=1000)
+        assert buf.can_admit(900, 0)
+        assert not buf.can_admit(900, 500)
+
+    def test_underflow_is_programming_error(self):
+        buf = SharedBuffer(100)
+        with pytest.raises(AssertionError):
+            buf.release(1)
+
+    def test_overflow_without_check_is_programming_error(self):
+        buf = SharedBuffer(100)
+        with pytest.raises(AssertionError):
+            buf.reserve(200)
+
+
+class TestEcnConfig:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            EcnConfig(kmin_bytes=500, kmax_bytes=100)
+        with pytest.raises(ValueError):
+            EcnConfig(pmax=1.5)
+
+    def test_defaults_are_sane(self):
+        cfg = EcnConfig()
+        assert 0 < cfg.kmin_bytes <= cfg.kmax_bytes
+        assert 0 < cfg.pmax <= 1.0
+
+
+class TestEcnMarker:
+    def test_below_kmin_never_marks(self):
+        marker = EcnMarker(EcnConfig(kmin_bytes=1000, kmax_bytes=2000),
+                           SimRng(1))
+        assert not any(marker.should_mark(999) for _ in range(100))
+
+    def test_above_kmax_always_marks(self):
+        marker = EcnMarker(EcnConfig(kmin_bytes=1000, kmax_bytes=2000),
+                           SimRng(1))
+        assert all(marker.should_mark(2001) for _ in range(100))
+
+    def test_linear_region_marks_proportionally(self):
+        cfg = EcnConfig(kmin_bytes=0, kmax_bytes=10_000, pmax=1.0)
+        marker = EcnMarker(cfg, SimRng(5))
+        hits = sum(marker.should_mark(5_000) for _ in range(4000))
+        assert 0.45 < hits / 4000 < 0.55
+
+    def test_counters(self):
+        marker = EcnMarker(EcnConfig(kmin_bytes=0, kmax_bytes=1), SimRng(1))
+        marker.should_mark(10)
+        marker.should_mark(10)
+        assert marker.evaluated == 2
+        assert marker.marked == 2

@@ -1,0 +1,95 @@
+"""Unit tests for the flowlet load balancer (§2.3 baseline)."""
+
+import pytest
+
+from repro.net.node import Device
+from repro.net.packet import FlowKey, data_packet
+from repro.sim.engine import Simulator, US
+from repro.sim.rng import SimRng
+from repro.switch.buffer import SharedBuffer
+from repro.switch.ecn import EcnConfig, EcnMarker
+from repro.switch.lb import EcmpLB, FlowletLB
+from repro.switch.switch import Switch
+
+
+def make_switch(sim, n_ports=4):
+    sw = Switch(sim, "sw", lb=EcmpLB(), buffer=SharedBuffer(10**6),
+                ecn_marker=EcnMarker(EcnConfig(), SimRng(0)))
+    sink = Device(sim, "sink")
+    ports = []
+    for _ in range(n_ports):
+        port = sw.add_port(1e9, 0)
+        port.connect(sink)
+        ports.append(port)
+    return sw, ports
+
+
+class TestFlowletLB:
+    def test_gap_validation(self):
+        with pytest.raises(ValueError):
+            FlowletLB(SimRng(0), gap_ns=-1)
+
+    def test_back_to_back_packets_stick_to_one_path(self):
+        """No gap => one flowlet => one path (order preserved)."""
+        sim = Simulator()
+        sw, ports = make_switch(sim)
+        lb = FlowletLB(SimRng(1), gap_ns=10 * US)
+        picks = set()
+        for psn in range(50):
+            picks.add(lb.select(sw, data_packet(FlowKey(0, 9), psn, 100),
+                                ports))
+            # advance 1 us between packets: below the gap
+            sim.schedule(1 * US, lambda: None)
+            sim.run()
+        assert len(picks) == 1
+        assert lb.flowlet_switches == 0
+
+    def test_gap_allows_path_change(self):
+        sim = Simulator()
+        sw, ports = make_switch(sim)
+        lb = FlowletLB(SimRng(2), gap_ns=5 * US)
+        seen = set()
+        for psn in range(40):
+            seen.add(lb.select(sw, data_packet(FlowKey(0, 9), psn, 100),
+                               ports))
+            sim.schedule(20 * US, lambda: None)  # gap > flowlet timeout
+            sim.run()
+        assert len(seen) > 1
+
+    def test_new_flowlet_prefers_least_loaded(self):
+        sim = Simulator()
+        sw, ports = make_switch(sim)
+        lb = FlowletLB(SimRng(3), gap_ns=0)  # every packet a new flowlet
+        for i in range(10):
+            ports[0].enqueue(data_packet(FlowKey(5, 6), i, 1000))
+        pick = lb.select(sw, data_packet(FlowKey(0, 9), 0, 100), ports)
+        assert pick is not ports[0]
+
+    def test_distinct_flows_tracked_separately(self):
+        sim = Simulator()
+        sw, ports = make_switch(sim)
+        lb = FlowletLB(SimRng(4), gap_ns=10 * US)
+        a = lb.select(sw, data_packet(FlowKey(0, 9), 0, 100), ports)
+        b = lb.select(sw, data_packet(FlowKey(1, 9), 0, 100), ports)
+        assert lb._state[FlowKey(0, 9)][0] == ports.index(a)
+        assert lb._state[FlowKey(1, 9)][0] == ports.index(b)
+
+
+class TestFlowletEndToEnd:
+    def test_rnic_pacing_never_splits_flowlets(self):
+        """§2.3: hardware-paced RNIC streams have no gaps, so the flowlet
+        LB behaves per-flow — zero path switches over a whole message."""
+        from repro.harness.network import (Network, NetworkConfig,
+                                           TopologySpec)
+        topo = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=4,
+                            nics_per_tor=1, link_bandwidth_bps=25e9)
+        net = Network(NetworkConfig(topology=topo, scheme="flowlet",
+                                    flowlet_gap_ns=50 * US))
+        net.post_message(0, 1, 2_000_000)
+        net.run(until_ns=30_000_000_000)
+        assert net.metrics.all_flows_done()
+        switches = sum(s.lb.flowlet_switches
+                       for s in net.topology.switches
+                       if isinstance(s.lb, FlowletLB))
+        assert switches == 0
+        assert net.metrics.nacks_generated == 0  # order preserved

@@ -1,0 +1,50 @@
+"""Unit tests for the Themis-D flow table."""
+
+from repro.net.packet import FlowKey
+from repro.themis.flow_table import FlowTable
+
+
+class TestFlowTable:
+    def test_lazy_creation(self):
+        table = FlowTable()
+        flow = FlowKey(0, 1)
+        assert table.get(flow) is None
+        entry = table.get_or_create(flow, n_paths=4, queue_capacity=16)
+        assert table.get(flow) is entry
+        assert len(table) == 1
+
+    def test_get_or_create_idempotent(self):
+        table = FlowTable()
+        flow = FlowKey(0, 1)
+        a = table.get_or_create(flow, 4, 16)
+        b = table.get_or_create(flow, 8, 32)  # params ignored on hit
+        assert a is b
+        assert a.n_paths == 4
+
+    def test_distinct_qps_distinct_entries(self):
+        table = FlowTable()
+        table.get_or_create(FlowKey(0, 1, 0), 4, 16)
+        table.get_or_create(FlowKey(0, 1, 1), 4, 16)
+        assert len(table) == 2
+
+    def test_entries_listing(self):
+        table = FlowTable()
+        table.get_or_create(FlowKey(0, 1), 4, 16)
+        table.get_or_create(FlowKey(2, 3), 4, 16)
+        flows = {e.flow for e in table.entries()}
+        assert flows == {FlowKey(0, 1), FlowKey(2, 3)}
+
+
+class TestFlowEntry:
+    def test_same_path_is_eq3(self):
+        table = FlowTable()
+        entry = table.get_or_create(FlowKey(0, 1), n_paths=4,
+                                    queue_capacity=16)
+        assert entry.same_path(2, 6)      # 2 % 4 == 6 % 4
+        assert not entry.same_path(2, 5)
+
+    def test_initial_compensation_state(self):
+        table = FlowTable()
+        entry = table.get_or_create(FlowKey(0, 1), 4, 16)
+        assert entry.blocked_epsn is None
+        assert not entry.valid
