@@ -1,0 +1,54 @@
+"""Smoke tests for the perf-benchmark harness (fast; runs in tier-1).
+
+These do not measure anything meaningful — they pin the harness
+machinery: scenario builders construct, quick runs complete, the A/B
+event-count assertion fires on real mismatches, and the JSON document
+keeps the schema downstream tooling reads.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.bench import (SCENARIOS, ScenarioResult, run_bench,
+                                 run_scenario)
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_each_scenario_completes_in_quick_mode(name):
+    result = run_scenario(name, quick=True)
+    assert isinstance(result, ScenarioResult)
+    assert result.completed, f"{name} did not finish before the deadline"
+    assert result.events > 0 and result.events_per_sec > 0
+    assert 0 < result.sim_time_ns
+
+
+def test_engines_agree_on_event_count_in_quick_mode():
+    cal = run_scenario("lossy", quick=True)
+    heap = run_scenario("lossy", quick=True, engine="heap")
+    assert cal.events == heap.events
+    assert cal.sim_time_ns == heap.sim_time_ns
+
+
+def test_run_bench_writes_schema(tmp_path):
+    out = tmp_path / "bench.json"
+    doc = run_bench(quick=True, compare=False, out=str(out),
+                    echo=lambda line: None)
+    on_disk = json.loads(out.read_text())
+    assert on_disk == doc
+    assert doc["schema_version"] == 2
+    assert set(doc["scenarios"]) == set(SCENARIOS)
+    for name in SCENARIOS:
+        entry = doc["scenarios"][name]
+        assert entry["scenario"] == name
+        assert entry["engine"] == "calendar"
+        assert entry["completed"] is True
+    assert doc["engine"]["kind"] == "calendar"
+    assert doc["measurement"]["estimator"] == "min wall time"
+
+
+def test_quick_is_marked_in_document(tmp_path):
+    doc = run_bench(quick=True, compare=False, out=None,
+                    echo=lambda line: None)
+    assert doc["quick"] is True
+    assert "--quick" in doc["generated_by"]

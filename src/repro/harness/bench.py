@@ -1,0 +1,299 @@
+"""Perf-benchmark harness: ``python -m repro bench``.
+
+Runs three canonical scenarios on the calendar-queue engine and reports
+events/sec and wall time, writing the results to ``BENCH_engine.json`` at
+the repo root so the perf trajectory is tracked across PRs:
+
+* ``incast``   — 15-to-1 congestion onto one receiver (deep queues, ECN
+  marking, CNP feedback; stresses buffer/marking hot paths).
+* ``alltoall`` — all-to-all spray across a 32-node leaf-spine fabric
+  (16 ToRs x 8 spines, the Fig. 5 regime; stresses the spraying +
+  reordering hot path and is the scenario the engine-speedup acceptance
+  gate is measured on).
+* ``lossy``    — recovery on a lossy uplink (NACK/RTO churn; stresses
+  timer cancellation and the overflow tier).
+
+The ``alltoall`` scenario is additionally re-run on
+:class:`repro.sim.engine.HeapSimulator` — the seed heapq engine kept
+verbatim as the reference implementation — and the events/sec ratio is
+reported as ``speedup_vs_heap``.  Event counts of the two runs must match
+exactly (same workload, same determinism contract); the harness asserts
+this, making every benchmark run double as an engine A/B sanity check.
+
+Measurement methodology
+-----------------------
+Wall-clock timing of a Python event loop is noisy in ways that bias an
+A/B comparison if ignored:
+
+* **Allocator warm-up.**  Repeated runs inside one process drift — the
+  second engine measured benefits from arenas the first one paid to map.
+  Each measurement therefore runs in a **fresh spawned process** (pyperf
+  style); the parent only collects the numbers.
+* **GC pauses.**  The engines allocate at very different rates, so cyclic
+  GC fires at different points.  The timed region runs with the collector
+  disabled (after an explicit ``gc.collect()``); pooling keeps real
+  garbage negligible for the run lengths measured here.
+* **Scheduling noise.**  Each (scenario, engine) pair is measured
+  ``repeats`` times and the **minimum** wall time is reported — the
+  standard best-of-N estimator for "how fast can this code run".
+
+``--quick`` shrinks message sizes ~8x, uses one repeat, and skips process
+isolation, for CI smoke runs where only "does it run" matters.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import multiprocessing
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Optional
+
+from repro.harness.network import Network, NetworkConfig, TopologySpec
+from repro.sim.engine import (DEFAULT_BUCKET_NS, DEFAULT_N_BUCKETS,
+                              HeapSimulator, MS, US)
+
+#: Output file tracked at the repo root.
+DEFAULT_OUT = "BENCH_engine.json"
+#: Scenario names in run order.
+SCENARIOS = ("incast", "alltoall", "lossy")
+#: Hard simulated-time deadline so a regression can't hang the harness.
+DEADLINE_NS = 800 * MS
+#: Default best-of-N repeats for a full (non-quick) run.
+DEFAULT_REPEATS = 3
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's measurement."""
+
+    scenario: str
+    engine: str
+    events: int
+    wall_s: float
+    events_per_sec: float
+    sim_time_ns: int
+    completed: bool
+
+
+def _scale(quick: bool, full: int) -> int:
+    """Quick mode shrinks message sizes ~8x for CI smoke runs."""
+    return full // 8 if quick else full
+
+
+def _stop_when_done(net: Network, total: int) -> Callable[[], None]:
+    """Per-message completion callback: once every receiver is done, tear
+    the NIC timers down so the event queue drains and :meth:`Network.run`
+    returns — the benchmark then measures the traffic regime, not an
+    arbitrarily long tail of idle DCQCN timer ticks."""
+    state = {"left": total}
+
+    def one_done() -> None:
+        state["left"] -= 1
+        if state["left"] == 0:
+            # Remember when traffic actually finished: after stop() the
+            # drain semantics of run(until=...) advance the clock to the
+            # deadline, so net.now_ns alone no longer tells us.
+            net.bench_done_ns = net.now_ns
+            net.stop()
+
+    return one_done
+
+
+def _build_incast(quick: bool, sim) -> Network:
+    topo = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=2,
+                        nics_per_tor=8, link_bandwidth_bps=100e9,
+                        link_delay_ns=US)
+    net = Network(NetworkConfig(topology=topo, scheme="rps",
+                                transport="nic_sr", seed=7), sim=sim)
+    nbytes = _scale(quick, 200_000)
+    done = _stop_when_done(net, 15)
+    for src in range(1, 16):
+        net.post_message(src, 0, nbytes, on_receiver_done=done)
+    return net
+
+
+def _build_alltoall(quick: bool, sim) -> Network:
+    # Wide fabric: 8-way spray at every source ToR, 992 concurrent flows.
+    # This is the geometry the >=2x engine acceptance gate is measured on.
+    topo = TopologySpec(kind="leaf_spine", num_tors=16, num_spines=8,
+                        nics_per_tor=2, link_bandwidth_bps=100e9,
+                        link_delay_ns=US)
+    net = Network(NetworkConfig(topology=topo, scheme="rps",
+                                transport="nic_sr", seed=7), sim=sim)
+    nbytes = _scale(quick, 120_000)
+    nodes = 32
+    done = _stop_when_done(net, nodes * (nodes - 1))
+    for src in range(nodes):
+        for dst in range(nodes):
+            if src != dst:
+                net.post_message(src, dst, nbytes, on_receiver_done=done)
+    return net
+
+
+def _build_lossy(quick: bool, sim) -> Network:
+    topo = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=2,
+                        nics_per_tor=2, link_bandwidth_bps=100e9,
+                        link_delay_ns=US)
+    net = Network(NetworkConfig(topology=topo, scheme="rps",
+                                transport="nic_sr", seed=7), sim=sim)
+    # 1% loss on every uplink of tor0: spraying keeps hitting the lossy
+    # paths, so recovery (NACKs, RTO re-arms) dominates the event mix.
+    loss_rng = net.rng.fork("bench-loss")
+    from repro.switch.switch import Switch
+    for port in net.topology.tors[0].ports:
+        if isinstance(port.peer, Switch):
+            port.set_loss(0.01, loss_rng)
+    nbytes = _scale(quick, 150_000)
+    pairs = ((0, 2), (1, 3), (2, 0), (3, 1))
+    done = _stop_when_done(net, len(pairs))
+    for src, dst in pairs:
+        net.post_message(src, dst, nbytes, on_receiver_done=done)
+    return net
+
+
+BUILDERS: dict[str, Callable[[bool, object], Network]] = {
+    "incast": _build_incast,
+    "alltoall": _build_alltoall,
+    "lossy": _build_lossy,
+}
+
+
+def run_scenario(name: str, *, quick: bool = False,
+                 engine: str = "calendar") -> ScenarioResult:
+    """Build and run one scenario, timing the event loop only.
+
+    The timed region excludes topology construction and runs with the
+    cyclic GC disabled (see the module docstring); the collector state is
+    restored afterwards.
+    """
+    sim = HeapSimulator() if engine == "heap" else None
+    net = BUILDERS[name](quick, sim)
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        net.run(until_ns=DEADLINE_NS)
+        wall = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    completed = net.metrics.all_flows_done()
+    events = net.sim.executed
+    net.stop()
+    return ScenarioResult(
+        scenario=name, engine=engine, events=events, wall_s=round(wall, 4),
+        events_per_sec=round(events / wall) if wall > 0 else 0,
+        sim_time_ns=getattr(net, "bench_done_ns", net.now_ns),
+        completed=completed)
+
+
+# ----------------------------------------------------------------------
+# Process isolation
+# ----------------------------------------------------------------------
+def _measure_child(conn, name: str, quick: bool, engine: str) -> None:
+    """Entry point of one spawned measurement process."""
+    result = run_scenario(name, quick=quick, engine=engine)
+    conn.send(asdict(result))
+    conn.close()
+
+
+def _measure(name: str, *, quick: bool, engine: str,
+             fresh_process: bool) -> ScenarioResult:
+    """One measurement, in a fresh spawned process when requested.
+
+    Falls back to an in-process run if spawning fails (restricted
+    environments); the numbers are then subject to warm-up drift but the
+    harness still works everywhere.
+    """
+    if fresh_process:
+        try:
+            ctx = multiprocessing.get_context("spawn")
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_measure_child,
+                               args=(child_conn, name, quick, engine))
+            proc.start()
+            child_conn.close()
+            payload = parent_conn.recv()
+            proc.join()
+            if proc.exitcode == 0:
+                return ScenarioResult(**payload)
+        except Exception:
+            pass
+    return run_scenario(name, quick=quick, engine=engine)
+
+
+def _best_of(name: str, *, quick: bool, engine: str, repeats: int,
+             fresh_process: bool) -> ScenarioResult:
+    """Best-of-N wall time; asserts the runs executed identical events."""
+    results = [_measure(name, quick=quick, engine=engine,
+                        fresh_process=fresh_process)
+               for _ in range(max(1, repeats))]
+    events = {r.events for r in results}
+    if len(events) != 1:
+        raise AssertionError(
+            f"{name}/{engine}: repeated runs executed different event "
+            f"counts {sorted(events)} — nondeterminism detected")
+    return min(results, key=lambda r: r.wall_s)
+
+
+def run_bench(*, quick: bool = False, compare: bool = True,
+              repeats: Optional[int] = None,
+              out: Optional[str] = DEFAULT_OUT,
+              echo: Callable[[str], None] = print) -> dict:
+    """Run all scenarios (plus the heap A/B) and write ``out``.
+
+    Returns the result document (also what lands in the JSON file).
+    """
+    if repeats is None:
+        repeats = 1 if quick else DEFAULT_REPEATS
+    fresh_process = not quick
+    doc: dict = {
+        "schema_version": 2,
+        "generated_by": "python -m repro bench" + (" --quick" if quick else ""),
+        "quick": quick,
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "engine": {"kind": "calendar",
+                   "bucket_ns": DEFAULT_BUCKET_NS,
+                   "n_buckets": DEFAULT_N_BUCKETS},
+        "measurement": {"repeats": repeats,
+                        "estimator": "min wall time",
+                        "fresh_process": fresh_process,
+                        "gc_disabled": True},
+        "scenarios": {},
+    }
+    for name in SCENARIOS:
+        res = _best_of(name, quick=quick, engine="calendar",
+                       repeats=repeats, fresh_process=fresh_process)
+        doc["scenarios"][name] = asdict(res)
+        echo(f"{name:<10} {res.events:>9} events  {res.wall_s:>7.3f} s  "
+             f"{res.events_per_sec:>9,} ev/s  "
+             f"(sim {res.sim_time_ns / 1000:.0f} us, "
+             f"completed={res.completed})")
+
+    if compare:
+        heap = _best_of("alltoall", quick=quick, engine="heap",
+                        repeats=repeats, fresh_process=fresh_process)
+        cal = doc["scenarios"]["alltoall"]
+        if heap.events != cal["events"]:
+            raise AssertionError(
+                "engine A/B mismatch: calendar executed "
+                f"{cal['events']} events, heap {heap.events} — "
+                "determinism contract violated")
+        speedup = (cal["events_per_sec"] / heap.events_per_sec
+                   if heap.events_per_sec else 0.0)
+        doc["heap_baseline"] = asdict(heap)
+        doc["speedup_vs_heap"] = round(speedup, 2)
+        echo(f"{'heap ref':<10} {heap.events:>9} events  "
+             f"{heap.wall_s:>7.3f} s  {heap.events_per_sec:>9,} ev/s")
+        echo(f"speedup vs seed heapq engine (alltoall): {speedup:.2f}x")
+
+    if out:
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        echo(f"wrote {out}")
+    return doc

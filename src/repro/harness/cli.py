@@ -63,6 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--schemes", default="ecmp,ar,themis")
     swp.add_argument("--seed", type=int, default=1)
 
+    ben = sub.add_parser("bench", help="engine perf benchmark "
+                                       "(writes BENCH_engine.json)")
+    ben.add_argument("--quick", action="store_true",
+                     help="~8x smaller messages; CI smoke mode")
+    ben.add_argument("--no-compare", action="store_true",
+                     help="skip the heapq reference-engine A/B run")
+    ben.add_argument("--repeats", type=int, default=None,
+                     help="best-of-N repeats per measurement "
+                          "(default: 3 full, 1 quick)")
+    ben.add_argument("--out", default="BENCH_engine.json",
+                     help="result file (empty string to skip writing)")
+
     pmap = sub.add_parser("pathmap", help="Fig. 3 PathMap on a fat-tree")
     pmap.add_argument("--k", type=int, default=4)
     pmap.add_argument("--src", type=int, default=0)
@@ -172,8 +184,16 @@ def cmd_pathmap(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import run_bench
+    run_bench(quick=args.quick, compare=not args.no_compare,
+              repeats=args.repeats, out=args.out or None)
+    return 0
+
+
 COMMANDS = {
     "memory": cmd_memory,
+    "bench": cmd_bench,
     "motivation": cmd_motivation,
     "collective": cmd_collective,
     "sweep": cmd_sweep,

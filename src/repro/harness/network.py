@@ -106,9 +106,13 @@ class NetworkConfig:
 class Network:
     """A wired-up fabric ready to carry workloads."""
 
-    def __init__(self, config: NetworkConfig) -> None:
+    def __init__(self, config: NetworkConfig, *,
+                 sim: Optional[Simulator] = None) -> None:
         self.config = config
-        self.sim = Simulator()
+        #: Injectable engine: the perf benchmark and the golden
+        #: determinism test run the same fabric on ``HeapSimulator``
+        #: (the reference engine) to A/B against the calendar queue.
+        self.sim = sim if sim is not None else Simulator()
         self.rng = SimRng(config.seed)
         self.metrics = Metrics(self.sim)
         self.topology = self._build_topology()

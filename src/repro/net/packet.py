@@ -15,6 +15,20 @@ Key fields used by Themis:
 * ``path_index`` — the fabric path the packet actually took; assigned by
   the source ToR's load balancer.  This is simulator bookkeeping standing
   in for "which core/spine the packet traversed".
+
+Packet pooling
+--------------
+Simulations allocate one :class:`Packet` per segment per flow — millions
+per run — so the module keeps a free list and the factory constructors
+(:func:`data_packet` & friends) reset a recycled instance in place instead
+of allocating.  :func:`release_packet` returns a packet to the pool; the
+RNIC calls it once a delivered packet has been fully consumed.
+
+**Pooling invariant:** a pooled packet must never be retained after the
+delivery callbacks return — consumers copy the fields they need (PSNs,
+sizes, flow keys) rather than storing the object.  Every recycled packet
+gets a fresh ``pkt_id``, so holding a stale reference is detectable in
+tests by the id changing under you.
 """
 
 from __future__ import annotations
@@ -53,9 +67,27 @@ class FlowKey:
     dst: int
     qp: int = 0
 
+    def __post_init__(self) -> None:
+        # Flow keys index every QP/route/cache dict on the hot path, so
+        # the field-tuple hash is computed once instead of per lookup.
+        object.__setattr__(self, "_hash",
+                           hash((self.src, self.dst, self.qp)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def reversed(self) -> "FlowKey":
-        """Key of the control-packet direction (receiver -> sender)."""
-        return FlowKey(self.dst, self.src, self.qp)
+        """Key of the control-packet direction (receiver -> sender).
+
+        Memoized: every ACK/NACK/CNP and every control-packet dispatch
+        looks this up, so the pair of keys is built once and cross-linked.
+        """
+        rev = getattr(self, "_rev", None)
+        if rev is None:
+            rev = FlowKey(self.dst, self.src, self.qp)
+            object.__setattr__(self, "_rev", rev)
+            object.__setattr__(rev, "_rev", self)
+        return rev
 
     def __str__(self) -> str:
         return f"{self.src}->{self.dst}#{self.qp}"
@@ -69,18 +101,35 @@ class Packet:
 
     Mutable on purpose: switches rewrite ``udp_sport`` (Themis-S) and set
     ``ecn_marked`` (RED/ECN) in flight, exactly like real hardware.
+
+    ``is_data``/``is_control`` and ``src``/``dst`` are plain attributes
+    (not properties) set at init time: they are read several times per hop
+    on the hot path and ``ptype``/``flow`` are never reassigned.
     """
 
     __slots__ = (
         "pkt_id", "ptype", "flow", "psn", "epsn", "payload_bytes",
         "wire_bytes", "udp_sport", "ecn_marked", "is_retx", "path_index",
-        "sent_at", "themis_generated", "hops",
+        "sent_at", "themis_generated", "hops", "is_data", "is_control",
+        "src", "dst", "_in_pool",
     )
 
     def __init__(self, ptype: PacketType, flow: FlowKey, *,
                  psn: int = 0, epsn: int = 0, payload_bytes: int = 0,
                  udp_sport: int = 0, is_retx: bool = False,
                  sent_at: int = 0) -> None:
+        self._in_pool = False
+        self._init(ptype, flow, psn, epsn, payload_bytes, udp_sport,
+                   is_retx, sent_at)
+
+    def _init(self, ptype: PacketType, flow: FlowKey, psn: int = 0,
+              epsn: int = 0, payload_bytes: int = 0, udp_sport: int = 0,
+              is_retx: bool = False, sent_at: int = 0) -> None:
+        """(Re)initialise every field — shared by __init__ and the pool.
+
+        Positional-only by convention: the factories below call it once
+        per simulated packet, where keyword passing is measurable.
+        """
         self.pkt_id = next(_packet_ids)
         self.ptype = ptype
         self.flow = flow
@@ -89,8 +138,14 @@ class Packet:
         self.payload_bytes = payload_bytes
         if ptype is PacketType.DATA:
             self.wire_bytes = payload_bytes + DATA_HEADER_BYTES
+            self.is_data = True
+            self.is_control = False
         else:
             self.wire_bytes = CONTROL_PACKET_BYTES
+            self.is_data = False
+            self.is_control = True
+        self.src = flow.src
+        self.dst = flow.dst
         self.udp_sport = udp_sport
         self.ecn_marked = False
         self.is_retx = is_retx
@@ -99,51 +154,70 @@ class Packet:
         self.themis_generated = False
         self.hops = 0
 
-    # -- classification helpers ---------------------------------------
-    @property
-    def is_data(self) -> bool:
-        return self.ptype is PacketType.DATA
-
-    @property
-    def is_control(self) -> bool:
-        return self.ptype is not PacketType.DATA
-
-    @property
-    def src(self) -> int:
-        """NIC id this packet originates from."""
-        return self.flow.src
-
-    @property
-    def dst(self) -> int:
-        """NIC id this packet is addressed to."""
-        return self.flow.dst
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         extra = f"psn={self.psn}" if self.is_data else f"epsn={self.epsn}"
         return (f"Packet#{self.pkt_id}({self.ptype.value}, {self.flow}, "
                 f"{extra}, {self.wire_bytes}B)")
 
 
+#: Free list shared by the factory constructors below.  Bounded so a burst
+#: (e.g. a large incast draining) cannot pin memory forever.
+_POOL_CAP = 8192
+_pool: list[Packet] = []
+
+
+def release_packet(packet: Packet) -> None:
+    """Return a consumed packet to the free list.
+
+    Safe to call at most once per delivery (double release is a no-op via
+    the ``_in_pool`` guard).  Only call this at a *terminal* consumption
+    point — after it returns, the object may be handed out again by any
+    factory with completely different contents.
+    """
+    if packet._in_pool:
+        return
+    packet._in_pool = True
+    if len(_pool) < _POOL_CAP:
+        _pool.append(packet)
+
+
+def pooled_packets() -> int:
+    """Current free-list size (introspection for tests/benchmarks)."""
+    return len(_pool)
+
+
+def _make(ptype: PacketType, flow: FlowKey, psn: int = 0, epsn: int = 0,
+          payload_bytes: int = 0, udp_sport: int = 0, is_retx: bool = False,
+          sent_at: int = 0) -> Packet:
+    if _pool:
+        pkt = _pool.pop()
+    else:
+        pkt = Packet.__new__(Packet)
+    pkt._in_pool = False
+    pkt._init(ptype, flow, psn, epsn, payload_bytes, udp_sport,
+              is_retx, sent_at)
+    return pkt
+
+
 def data_packet(flow: FlowKey, psn: int, payload_bytes: int, *,
                 udp_sport: int = 0, is_retx: bool = False,
                 sent_at: int = 0) -> Packet:
     """Build a data segment."""
-    return Packet(PacketType.DATA, flow, psn=psn,
-                  payload_bytes=payload_bytes, udp_sport=udp_sport,
-                  is_retx=is_retx, sent_at=sent_at)
+    return _make(PacketType.DATA, flow, psn, 0, payload_bytes,
+                 udp_sport, is_retx, sent_at)
 
 
 def ack_packet(data_flow: FlowKey, epsn: int) -> Packet:
     """Cumulative ACK: everything below ``epsn`` is received."""
-    return Packet(PacketType.ACK, data_flow.reversed(), epsn=epsn)
+    return _make(PacketType.ACK, data_flow.reversed(), 0, epsn)
 
 
 def nack_packet(data_flow: FlowKey, epsn: int) -> Packet:
     """NACK carrying only the receiver's expected PSN (per §2.2 the
     out-of-order trigger PSN is *not* included)."""
-    return Packet(PacketType.NACK, data_flow.reversed(), epsn=epsn)
+    return _make(PacketType.NACK, data_flow.reversed(), 0, epsn)
 
 
 def cnp_packet(data_flow: FlowKey) -> Packet:
     """DCQCN congestion notification packet."""
-    return Packet(PacketType.CNP, data_flow.reversed())
+    return _make(PacketType.CNP, data_flow.reversed())

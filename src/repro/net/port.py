@@ -9,6 +9,21 @@ transmit before data, mirroring the lossless high-priority control class
 RDMA fabrics configure.  Data packets pass through an optional
 :class:`QueuePolicy` that implements buffer admission (drops) and ECN
 marking; control packets are never dropped or marked.
+
+Folded transmit path
+--------------------
+The hot path schedules **one** event per transmitted packet: when a packet
+is popped from the FIFOs (:meth:`_pump`), its delivery at
+``serialization + propagation`` is scheduled immediately, and the port
+tracks serializer availability with the ``_free_at`` timestamp instead of
+a separate serialization-done event.  A boundary wake-up (``_pump``
+re-scheduled via the engine's lightweight ``fire`` path) is armed only
+when a backlog is actually waiting at the end of the
+current serialization — an idle or lightly-loaded port pays zero extra
+events.  Drop decisions (link down, random loss) are made when the packet
+starts serializing; the drop is accounted immediately rather than one
+serialization time later, which shifts fault bookkeeping by at most one
+packet time and schedules no event at all for lost packets.
 """
 
 from __future__ import annotations
@@ -45,6 +60,15 @@ class QueuePolicy:
 class Port:
     """One egress port of a device, wired to a peer device."""
 
+    __slots__ = (
+        "sim", "owner", "bandwidth_bps", "delay_ns", "_ns_per_byte",
+        "name", "index", "peer", "_peer_recv", "_fire", "_control",
+        "_data", "queued_bytes",
+        "_free_at", "_pump_armed", "_data_paused", "policy", "loss_rate",
+        "up", "_loss_rng", "bytes_sent", "packets_sent", "packets_dropped",
+        "busy_ns", "on_drop",
+    )
+
     def __init__(self, sim: Simulator, owner: "Device", *,
                  bandwidth_bps: float, delay_ns: int,
                  name: str = "") -> None:
@@ -52,14 +76,22 @@ class Port:
         self.owner = owner
         self.bandwidth_bps = float(bandwidth_bps)
         self.delay_ns = int(delay_ns)
+        # Serialization cost per wire byte; folded into one multiply on
+        # the hot path instead of per-packet float division.
+        self._ns_per_byte = 8.0 * SEC / self.bandwidth_bps
         self.name = name or f"{owner.name}.p?"
         self.index = -1
         self.peer: Optional["Device"] = None
+        self._peer_recv: Optional[Callable] = None
+        # Bound engine entry point, looked up once per port instead of
+        # twice per transmitted packet.
+        self._fire = sim.fire
 
         self._control: deque[Packet] = deque()
         self._data: deque[Packet] = deque()
         self.queued_bytes = 0          # data bytes waiting (excl. in-flight)
-        self._busy = False
+        self._free_at = 0              # ns when the serializer frees up
+        self._pump_armed = False       # boundary wake-up pending?
         self._data_paused = False      # PFC: data class held, control flows
         self.policy: QueuePolicy = QueuePolicy()
 
@@ -83,9 +115,13 @@ class Port:
     # ------------------------------------------------------------------
     def connect(self, peer: "Device") -> None:
         self.peer = peer
+        # Bound method cached once: deliveries fire straight into the
+        # peer's receive() without a per-packet trampoline.
+        self._peer_recv = peer.receive
 
     def serialization_ns(self, packet: Packet) -> int:
-        return max(1, int(packet.wire_bytes * 8 * SEC / self.bandwidth_bps))
+        ns = int(packet.wire_bytes * self._ns_per_byte)
+        return ns if ns > 0 else 1
 
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet) -> bool:
@@ -102,45 +138,63 @@ class Port:
             self._data.append(packet)
             self.queued_bytes += packet.wire_bytes
             self.policy.on_enqueue(self, packet)
-        if not self._busy:
-            self._start_transmission()
+        if not self._pump_armed:
+            now = self.sim.now
+            if now >= self._free_at:
+                self._pump()
+            else:
+                # Serializer mid-packet with no boundary wake-up pending
+                # (its queues were empty when it last popped): arm one.
+                self._pump_armed = True
+                self._fire(self._free_at - now, self._pump)
         return True
 
     # ------------------------------------------------------------------
-    def _start_transmission(self) -> None:
-        if self._control:
-            packet = self._control.popleft()
-        elif self._data and not self._data_paused:
-            packet = self._data.popleft()
-            self.queued_bytes -= packet.wire_bytes
+    def _pump(self, _arg=None) -> None:
+        """Pop the next eligible packet and fold its whole transmit into
+        one scheduled delivery event.
+
+        Doubles as the boundary wake-up callback (scheduled via
+        ``sim.fire``), so its first action is to disarm the wake-up flag.
+        """
+        self._pump_armed = False
+        control = self._control
+        data = self._data
+        if control:
+            packet = control.popleft()
+            wire = packet.wire_bytes
+        elif data and not self._data_paused:
+            packet = data.popleft()
+            wire = packet.wire_bytes
+            self.queued_bytes -= wire
             self.policy.on_dequeue(self, packet)
         else:
             return
-        self._busy = True
-        tx_ns = self.serialization_ns(packet)
+        tx_ns = int(wire * self._ns_per_byte)
+        if tx_ns <= 0:
+            tx_ns = 1
+        sim = self.sim
+        fire = self._fire
         self.busy_ns += tx_ns
-        self.sim.schedule(tx_ns, self._finish_transmission, packet)
-
-    def _finish_transmission(self, packet: Packet) -> None:
-        self._busy = False
+        self._free_at = sim.now + tx_ns
         lost = not self.up
-        if (not lost and packet.is_data and self.loss_rate > 0.0
+        if (lost is False and self.loss_rate > 0.0 and packet.is_data
                 and self._loss_rng is not None
                 and self._loss_rng.random() < self.loss_rate):
             lost = True
         if lost:
             self._drop(packet)
         else:
-            self.bytes_sent += packet.wire_bytes
+            self.bytes_sent += wire
             self.packets_sent += 1
             packet.hops += 1
-            self.sim.schedule(self.delay_ns, self._deliver, packet)
-        if self._control or self._data:
-            self._start_transmission()
+            fire(tx_ns + self.delay_ns, self._deliver, packet)
+        if control or (data and not self._data_paused):
+            self._pump_armed = True
+            fire(tx_ns, self._pump)
 
     def _deliver(self, packet: Packet) -> None:
-        assert self.peer is not None, f"{self.name} not connected"
-        self.peer.receive(packet, self)
+        self._peer_recv(packet, self)
 
     def _drop(self, packet: Packet) -> None:
         self.packets_dropped += 1
@@ -156,8 +210,12 @@ class Port:
 
     def resume_data(self) -> None:
         self._data_paused = False
-        if not self._busy:
-            self._start_transmission()
+        if not self._pump_armed and (self._control or self._data):
+            if self.sim.now >= self._free_at:
+                self._pump()
+            else:
+                self._pump_armed = True
+                self._fire(self._free_at - self.sim.now, self._pump)
 
     @property
     def data_paused(self) -> bool:
@@ -174,6 +232,11 @@ class Port:
     @property
     def backlog_packets(self) -> int:
         return len(self._control) + len(self._data)
+
+    @property
+    def busy(self) -> bool:
+        """Is the serializer occupied right now?"""
+        return self.sim.now < self._free_at
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         peer = self.peer.name if self.peer else "?"

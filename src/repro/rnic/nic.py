@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.cc.base import CongestionControl
 from repro.net.node import Device
-from repro.net.packet import FlowKey, Packet, PacketType
+from repro.net.packet import FlowKey, Packet, PacketType, release_packet
 from repro.net.port import Port
 from repro.rnic.config import RnicConfig
 from repro.rnic.qp import SenderQp
@@ -113,22 +113,35 @@ class Rnic(Device):
         self.uplink.enqueue(packet)
 
     def receive(self, packet: Packet, in_port: Optional[Port]) -> None:
-        if packet.ptype is PacketType.DATA:
-            self.receiver(packet.flow).on_data(packet)
+        """Consume a delivered packet and recycle it.
+
+        The NIC is every packet's terminal hop, so once the QP handlers
+        return (they copy the header fields they need) the object goes
+        back to the packet pool — see the pooling invariant in
+        :mod:`repro.net.packet`.
+        """
+        if packet.is_data:
+            # Dict fast path: after the first packet of a flow the QP
+            # exists, so skip receiver()'s validation wrapper.
+            rqp = self.receivers.get(packet.flow)
+            if rqp is None:
+                rqp = self.receiver(packet.flow)
+            rqp.on_data(packet)
+            release_packet(packet)
             return
         # Control packets travel the reverse flow; the sender QP is keyed
         # by the original data direction.
         data_flow = packet.flow.reversed()
         sender = self.senders.get(data_flow)
-        if sender is None:
-            return  # QP already torn down; stale control packet
-        if packet.ptype is PacketType.ACK:
-            sender.on_ack(packet.epsn)
-        elif packet.ptype is PacketType.NACK:
-            trigger = packet.psn if self.transport == "mp_rdma" else None
-            sender.on_nack(packet.epsn, trigger_psn=trigger)
-        elif packet.ptype is PacketType.CNP:
-            sender.on_cnp()
+        if sender is not None:
+            if packet.ptype is PacketType.ACK:
+                sender.on_ack(packet.epsn)
+            elif packet.ptype is PacketType.NACK:
+                trigger = packet.psn if self.transport == "mp_rdma" else None
+                sender.on_nack(packet.epsn, trigger_psn=trigger)
+            elif packet.ptype is PacketType.CNP:
+                sender.on_cnp()
+        release_packet(packet)
 
     def stop(self) -> None:
         """Tear down all QP timers (end of experiment)."""

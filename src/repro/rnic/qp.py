@@ -62,6 +62,7 @@ class SenderQp:
         self._messages: list[_Message] = []
         self._message_starts: list[int] = []   # parallel to _messages
         self._next_completion = 0              # index into _messages
+        self._pf_hint = 0                      # last payload_for message
 
         self.total_psns = 0        # one past the last posted PSN
         self.next_psn = 0          # next never-sent PSN
@@ -97,10 +98,23 @@ class SenderQp:
 
     def payload_for(self, psn: int) -> int:
         """Payload bytes carried by segment ``psn``."""
+        # Hint fast path: consecutive sends almost always stay within one
+        # message, so remember the last hit and skip the bisect.
+        messages = self._messages
+        hint = self._pf_hint
+        if hint < len(messages):
+            message = messages[hint]
+            if message.start_psn <= psn < message.end_psn:
+                if psn == message.end_psn - 1:
+                    return message.nbytes - (message.end_psn - 1
+                                             - message.start_psn
+                                             ) * self.config.payload_bytes
+                return self.config.payload_bytes
         idx = bisect.bisect_right(self._message_starts, psn) - 1
         if idx < 0 or psn >= self._messages[idx].end_psn:
             raise ValueError(f"PSN {psn} was never posted on {self.flow}")
         message = self._messages[idx]
+        self._pf_hint = idx
         if psn == message.end_psn - 1:
             remainder = message.nbytes - (message.end_psn - 1
                                           - message.start_psn
@@ -122,40 +136,54 @@ class SenderQp:
         return self.inflight < self.config.max_inflight_packets
 
     def _maybe_schedule_send(self) -> None:
-        if self._send_event is not None or not self._has_work():
+        # Inlined _has_work()/_window_open() — this runs after every
+        # sent packet and every ACK.
+        if self._send_event is not None:
             return
-        if not self._retx_queue and not self._window_open():
-            return  # re-kicked when an ACK frees window space
-        delay = max(0, self._next_allowed_ns - self.sim.now)
-        self._send_event = self.sim.schedule(delay, self._send_one)
+        if not self._retx_queue:
+            if (self.next_psn >= self.total_psns
+                    or self.next_psn - self.snd_una
+                    >= self.config.max_inflight_packets):
+                return  # re-kicked when an ACK frees window space
+        delay = self._next_allowed_ns - self.sim.now
+        self._send_event = self.sim.schedule(delay if delay > 0 else 0,
+                                             self._send_one)
 
     def _send_one(self) -> None:
         self._send_event = None
-        if not self._has_work():
-            return
-        if self._retx_queue:
-            psn = self._retx_queue.pop(0)
+        retx = self._retx_queue
+        if retx:
+            psn = retx.pop(0)
             self._retx_set.discard(psn)
             if psn < self.snd_una:  # stale entry, already acked
                 self._maybe_schedule_send()
                 return
-        elif self._window_open():
+        elif (self.next_psn < self.total_psns
+              and self.next_psn - self.snd_una
+              < self.config.max_inflight_packets):
             psn = self.next_psn
-            self.next_psn += 1
+            self.next_psn = psn + 1
         else:
             return
-        is_retx = psn <= self.highest_sent
-        if psn > self.highest_sent:
+        highest = self.highest_sent
+        is_retx = psn <= highest
+        if psn > highest:
             self.highest_sent = psn
+        sim = self.sim
         packet = data_packet(self.flow, psn, self.payload_for(psn),
                              udp_sport=self.udp_sport, is_retx=is_retx,
-                             sent_at=self.sim.now)
+                             sent_at=sim.now)
         self.metrics.on_data_sent(self.flow, packet)
         self.nic.transmit(packet)
-        self.cc.on_bytes_sent(packet.wire_bytes)
-        gap_ns = int(packet.wire_bytes * 8 * SEC / self.cc.rate_bps)
-        base = max(self.sim.now, self._next_allowed_ns)
-        self._next_allowed_ns = base + max(1, gap_ns)
+        cc = self.cc
+        wire = packet.wire_bytes
+        cc.on_bytes_sent(wire)
+        gap_ns = int(wire * 8 * SEC / cc.rate_bps)
+        base = self._next_allowed_ns
+        now = sim.now
+        if now > base:
+            base = now
+        self._next_allowed_ns = base + (gap_ns if gap_ns > 1 else 1)
         self._maybe_schedule_send()
 
     # ------------------------------------------------------------------

@@ -1,12 +1,13 @@
 """Discrete-event simulation core (engine, events, RNG, traces)."""
 
-from repro.sim.engine import MS, NS, SEC, US, SimulationError, Simulator
+from repro.sim.engine import (MS, NS, SEC, US, HeapSimulator,
+                              SimulationError, Simulator)
 from repro.sim.events import Event
 from repro.sim.rng import SimRng
 from repro.sim.trace import RateMeter, TimeSeries, WindowedCounter, summarize
 
 __all__ = [
-    "Simulator", "SimulationError", "Event", "SimRng",
+    "Simulator", "HeapSimulator", "SimulationError", "Event", "SimRng",
     "TimeSeries", "WindowedCounter", "RateMeter", "summarize",
     "NS", "US", "MS", "SEC",
 ]

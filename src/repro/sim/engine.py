@@ -1,10 +1,25 @@
 """Discrete-event simulation engine.
 
-The engine is a classic calendar-queue simulator: a binary heap of
-:class:`~repro.sim.events.Event` objects ordered by ``(time, seq)``.  All
-simulation time is expressed in **integer nanoseconds** — the module-level
-constants :data:`NS`, :data:`US`, :data:`MS` and :data:`SEC` convert other
-units into nanoseconds so call sites read naturally::
+Two engines share one API and one determinism contract:
+
+* :class:`Simulator` — the default **hybrid bucketed calendar queue**.
+  Near-future events land in a ring of fixed-width time buckets sized to
+  the dominant serialization/propagation deltas; far-future events
+  (retransmission timeouts, DCQCN timers, end-of-run guards) overflow into
+  a binary heap.  Queue entries are plain ``(time, seq, event)`` tuples so
+  every ordering comparison happens in C instead of calling
+  ``Event.__lt__``, and executed :class:`~repro.sim.events.Event` objects
+  are recycled through a free list.  Cancelled overflow entries are
+  compacted away once they outnumber the live ones (lazy-cancel
+  compaction), so timer churn cannot grow the heap without bound.
+* :class:`HeapSimulator` — the original single binary-heap engine, kept as
+  the executable reference implementation.  The golden determinism test
+  (``tests/sim/test_engine_determinism.py``) runs full workloads on both
+  engines and asserts bit-identical ``(time, seq)`` execution order.
+
+All simulation time is expressed in **integer nanoseconds** — the
+module-level constants :data:`NS`, :data:`US`, :data:`MS` and :data:`SEC`
+convert other units into nanoseconds so call sites read naturally::
 
     sim.schedule(5 * US, port.dequeue)
 
@@ -12,7 +27,19 @@ Determinism contract
 --------------------
 Two runs with identical inputs and seeds execute the exact same event
 sequence.  This requires (a) the ``seq`` tie-break, and (b) all randomness
-flowing through :class:`repro.sim.rng.SimRng`.
+flowing through :class:`repro.sim.rng.SimRng`.  The calendar engine keeps
+bucket windows disjoint and orders each bucket by ``(time, seq)``, so its
+execution order equals the reference heap's.
+
+Pooling invariant
+-----------------
+Executed events are returned to a free list and may be reused by a later
+``schedule``.  A caller that keeps the returned handle must drop (or null
+out) the reference once the callback has fired; calling
+:meth:`Event.cancel` on a handle whose event already ran may cancel an
+unrelated future event once the object has been recycled.  Every timer in
+this codebase follows the pattern of clearing its stored handle in the
+callback's first line.
 """
 
 from __future__ import annotations
@@ -31,24 +58,489 @@ MS = 1_000_000
 #: Nanoseconds per second.
 SEC = 1_000_000_000
 
+#: Default calendar-bucket width.  Dominant event deltas are packet
+#: serialization times (31 ns for an MTU at 400 Gbps, ~500 ns at 25 Gbps)
+#: and the ~1 us link propagation delay, so 64 ns buckets keep same-bucket
+#: collisions low at high load without inflating the empty-bucket scan.
+DEFAULT_BUCKET_NS = 64
+#: Default bucket count; with 64 ns buckets the near-future window covers
+#: ~262 us, which holds pacing gaps, delayed ACKs, and DCQCN increase
+#: timers.  RTOs (400 us and up) intentionally overflow to the far heap.
+DEFAULT_N_BUCKETS = 4096
+
+#: Ceiling on the Event free list (objects, not bytes).
+_EVENT_POOL_CAP = 8192
+#: Overflow compaction never triggers below this heap size.
+_MIN_COMPACT = 512
+#: Sentinel "no bound" time, far beyond any simulated horizon (~146 y).
+_FAR_FUTURE = 1 << 62
+
 
 class SimulationError(RuntimeError):
     """Raised on scheduler misuse (e.g. scheduling in the past)."""
 
 
+#: Per-geometry cache of single-bit masks for the occupancy bitmap, so
+#: every Simulator instance shares one list of 4096 big ints.
+_BIT_MASKS: dict[int, list[int]] = {}
+
+
+def _bit_masks(n_buckets: int) -> list[int]:
+    masks = _BIT_MASKS.get(n_buckets)
+    if masks is None:
+        masks = [1 << i for i in range(n_buckets)]
+        _BIT_MASKS[n_buckets] = masks
+    return masks
+
+
 class Simulator:
-    """Event scheduler and simulation clock.
+    """Event scheduler and simulation clock (bucketed calendar queue).
 
     Parameters
     ----------
     end_time:
         Optional hard stop; events scheduled past it are still accepted but
         :meth:`run` will not execute them.
+    bucket_ns:
+        Width of one calendar bucket in nanoseconds (rounded up to a power
+        of two so bucket indexing is a shift+mask).
+    n_buckets:
+        Number of buckets in the near-future ring (rounded up to a power
+        of two).  ``bucket_ns * n_buckets`` is the calendar horizon;
+        events farther out go to the overflow heap.
+
+    Internal geometry invariants:
+
+    * the cursor bucket covers ``[_cur_end - _width, _cur_end)`` and is
+      kept as a heap (entries may arrive while it drains);
+    * every other calendar entry lies in ``[_cur_end, _win_end)`` and sits
+      unsorted in its bucket, heapified when the cursor arrives;
+    * overflow entries all lie at ``time >= _win_end``.
+
+    A late insert below ``_cur_end`` (clock still sitting before a window
+    jump) goes into the cursor bucket, whose heap order still executes it
+    before everything else — ordering is preserved without special cases.
+    """
+
+    __slots__ = (
+        "now", "end_time", "trace", "_shift", "_width", "_mask",
+        "_horizon", "_buckets", "_occ", "_bit", "_cur_index",
+        "_cur_end", "_win_end", "_overflow", "_compact_at", "_event_pool",
+        "_seq", "_executed", "_running",
+    )
+
+    def __init__(self, end_time: Optional[int] = None, *,
+                 bucket_ns: int = DEFAULT_BUCKET_NS,
+                 n_buckets: int = DEFAULT_N_BUCKETS) -> None:
+        self.now: int = 0
+        self.end_time = end_time
+        #: Optional per-event hook ``trace(time, seq, callback)`` invoked
+        #: before each executed callback; used by the determinism tests.
+        self.trace: Optional[Callable[[int, int, Callable], None]] = None
+
+        self._shift = max(0, int(bucket_ns) - 1).bit_length()
+        self._width = 1 << self._shift
+        nb = 1 << max(1, int(n_buckets) - 1).bit_length()
+        self._mask = nb - 1
+        self._horizon = self._width * nb
+
+        self._buckets: list[list] = [[] for _ in range(nb)]
+        #: Occupancy bitmap: bit ``i`` set => bucket ``i`` may be
+        #: non-empty.  Buckets drain only at the cursor, so at most the
+        #: cursor's own bit can be stale; :meth:`_advance_cursor` clears
+        #: it and then finds the next occupied bucket with integer bit
+        #: tricks instead of walking empty buckets one by one.
+        self._occ = 0
+        self._bit = _bit_masks(nb)
+        self._cur_index = 0            # ring position of the cursor bucket
+        self._cur_end = self._width    # absolute end of the cursor bucket
+        self._win_end = self._horizon  # absolute end of the calendar window
+
+        self._overflow: list = []      # far-future (time, seq, event) heap
+        self._compact_at = _MIN_COMPACT
+
+        self._event_pool: list[Event] = []
+        self._seq = 0
+        self._executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now.
+
+        This is the hottest scheduler entry point, so :meth:`_push` is
+        inlined here; keep the two bodies in sync.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + int(delay)
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, seq, callback, args)
+        entry = (time, seq, event)
+        if time < self._win_end:
+            if time < self._cur_end:
+                heapq.heappush(self._buckets[self._cur_index], entry)
+            else:
+                index = (time >> self._shift) & self._mask
+                bucket = self._buckets[index]
+                if not bucket:
+                    self._occ |= self._bit[index]
+                bucket.append(entry)
+        else:
+            overflow = self._overflow
+            heapq.heappush(overflow, entry)
+            if len(overflow) > self._compact_at:
+                self._compact_overflow()
+        return event
+
+    def fire(self, delay: int, callback: Callable[[Any], Any],
+             arg: Any = None) -> None:
+        """Fire-and-forget schedule: no :class:`Event`, no handle.
+
+        The entry is a bare ``(time, seq, callback, arg)`` tuple and the
+        callback runs as ``callback(arg)``; it cannot be cancelled.  This
+        is the per-packet hot path (serializer boundary wake-ups alone
+        are ~40%% of all events in a busy fabric), where skipping the
+        Event pool round-trip is worth a branch in the run loop.
+
+        Caller contract: ``delay`` must be a non-negative **integer**
+        (no ``int()`` coercion here — a float would silently break
+        bucket indexing, so the sub-ns case raises instead).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (time, seq, callback, arg)
+        if time < self._win_end:
+            if time < self._cur_end:
+                heapq.heappush(self._buckets[self._cur_index], entry)
+            else:
+                index = (time >> self._shift) & self._mask
+                bucket = self._buckets[index]
+                if not bucket:
+                    self._occ |= self._bit[index]
+                bucket.append(entry)
+        else:
+            overflow = self._overflow
+            heapq.heappush(overflow, entry)
+            if len(overflow) > self._compact_at:
+                self._compact_overflow()
+
+    def schedule_at(self, time: int, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute time."""
+        time = int(time)
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self.now}")
+        return self._push(time, callback, args)
+
+    def _push(self, time: int, callback: Callable[..., Any],
+              args: tuple) -> Event:
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time, seq, callback, args)
+        entry = (time, seq, event)
+        if time < self._win_end:
+            if time < self._cur_end:
+                # The cursor bucket is kept heap-ordered while draining.
+                # Its occupancy bit is irrelevant: the run loop always
+                # drains the cursor before consulting the bitmap.
+                heapq.heappush(self._buckets[self._cur_index], entry)
+            else:
+                index = (time >> self._shift) & self._mask
+                bucket = self._buckets[index]
+                if not bucket:
+                    self._occ |= self._bit[index]
+                bucket.append(entry)
+        else:
+            overflow = self._overflow
+            heapq.heappush(overflow, entry)
+            if len(overflow) > self._compact_at:
+                self._compact_overflow()
+        return event
+
+    def _compact_overflow(self) -> None:
+        """Drop lazily-cancelled entries and re-heapify (amortized O(1)).
+
+        Retransmission timers are re-armed on every cumulative-ACK
+        advance, each re-arm cancelling a far-future entry; without
+        compaction those tombstones would accumulate for the whole run.
+        """
+        live = [e for e in self._overflow
+                if len(e) == 4 or not e[2].cancelled]
+        heapq.heapify(live)
+        self._overflow = live
+        self._compact_at = max(_MIN_COMPACT, 2 * len(live))
+
+    # ------------------------------------------------------------------
+    # Cursor movement (cold path: runs only when a bucket drains)
+    # ------------------------------------------------------------------
+    def _advance_cursor(self) -> Optional[list]:
+        """Move the cursor to the next non-empty bucket.
+
+        Returns that bucket (heapified, ready to drain), or ``None`` when
+        nothing is pending anywhere.  The next occupied bucket comes from
+        the occupancy bitmap — a shift plus count-trailing-zeros on one
+        big int, all C-level — so a sparse calendar (idle timers tens of
+        microseconds apart) costs the same as a dense one.  When the
+        calendar is empty the cursor jumps straight to the overflow front.
+
+        Overflow migration can happen *after* the jump target is chosen:
+        every overflow entry has ``time >= _win_end``, which is later than
+        any bucket in the current lap, so migrated entries always land in
+        the lap's tail (ring slots behind the new cursor), never ahead of
+        the target.
+        """
+        buckets = self._buckets
+        overflow = self._overflow
+        mask = self._mask
+        shift = self._shift
+        heappop = heapq.heappop
+        bit = self._bit
+        index = self._cur_index
+        # The vacated cursor bucket is the only possibly-stale bit, so the
+        # masked bitmap alone answers "is the calendar empty?" — no
+        # separate entry counter is maintained anywhere in the engine.
+        occ = self._occ & ~bit[index]
+        if occ:
+            # Next occupied ring slot strictly after the cursor: first try
+            # the bits above the cursor, then wrap to the bits below it.
+            hi = occ >> (index + 1)
+            if hi:
+                steps = 1 + ((hi & -hi).bit_length() - 1)
+            else:
+                low = occ & (bit[index] - 1)
+                # occ != 0 guarantees some bucket is occupied.
+                steps = (mask + 1 - index) + ((low & -low).bit_length() - 1)
+            index = (index + steps) & mask
+            width = self._width
+            self._cur_index = index
+            self._cur_end += steps * width
+            win_end = self._win_end + steps * width
+            self._win_end = win_end
+            while overflow and overflow[0][0] < win_end:
+                entry = heappop(overflow)
+                slot = (entry[0] >> shift) & mask
+                b = buckets[slot]
+                if not b:
+                    occ |= bit[slot]
+                b.append(entry)
+            self._occ = occ
+            bucket = buckets[index]
+            heapq.heapify(bucket)
+            return bucket
+        if not overflow:
+            self._occ = 0
+            return None
+        # Calendar empty: jump the window to the overflow front.
+        time = overflow[0][0]
+        start = (time >> shift) << shift
+        index = (time >> shift) & mask
+        self._cur_index = index
+        self._cur_end = start + self._width
+        win_end = start + self._horizon
+        self._win_end = win_end
+        occ = 0
+        while overflow and overflow[0][0] < win_end:
+            entry = heappop(overflow)
+            slot = (entry[0] >> shift) & mask
+            b = buckets[slot]
+            if not b:
+                occ |= bit[slot]
+            b.append(entry)
+        self._occ = occ
+        bucket = buckets[index]
+        heapq.heapify(bucket)
+        return bucket
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue is empty
+        or the next event lies beyond ``end_time``.
+        """
+        while True:
+            bucket = self._buckets[self._cur_index]
+            if not bucket:
+                bucket = self._advance_cursor()
+                if bucket is None:
+                    return False
+            entry = heapq.heappop(bucket)
+            if len(entry) == 4:               # fire() fast-path entry
+                if self.end_time is not None and entry[0] > self.end_time:
+                    heapq.heappush(bucket, entry)
+                    return False
+                self.now = entry[0]
+                entry[2](entry[3])
+                self._executed += 1
+                return True
+            event = entry[2]
+            if event.cancelled:
+                self._recycle(event)
+                continue
+            if self.end_time is not None and entry[0] > self.end_time:
+                heapq.heappush(bucket, entry)
+                return False
+            self.now = entry[0]
+            event.callback(*event.args)
+            self._executed += 1
+            self._recycle(event)
+            return True
+
+    def _recycle(self, event: Event) -> None:
+        # Drop references so a pooled event never pins packet graphs.
+        event.callback = None
+        event.args = ()
+        pool = self._event_pool
+        if len(pool) < _EVENT_POOL_CAP:
+            pool.append(event)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run events until the queue drains or ``until`` (absolute ns).
+
+        Returns the number of events executed by this call.  When the
+        queue drains before ``until``, the clock still advances to
+        ``until``, matching the early-break case — either way the caller
+        observes ``now == until``.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        executed = 0
+        # Local aliases for the per-event hot loop.
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        trace = self.trace
+        pool = self._event_pool
+        pool_append = pool.append
+        advance = self._advance_cursor
+        # Fold ``until`` and ``end_time`` into one numeric stop bound so
+        # the loop pays a single comparison per event; which bound fired
+        # decides below whether the clock jumps to ``until``.
+        bound = until if until is not None else _FAR_FUTURE
+        if self.end_time is not None and self.end_time < bound:
+            bound = self.end_time
+        bucket = self._buckets[self._cur_index]
+        try:
+            while True:
+                if not bucket:
+                    bucket = advance()
+                    if bucket is None:
+                        # Queue drained before the bound: leave now ==
+                        # until, same as the early-break branch below.
+                        if until is not None and until > self.now:
+                            self.now = until
+                        break
+                entry = heappop(bucket)
+                time = entry[0]
+                if len(entry) == 4:           # fire() fast-path entry
+                    if time > bound:
+                        heappush(bucket, entry)
+                        if bound == until and until > self.now:
+                            self.now = until
+                        break
+                    self.now = time
+                    if trace is not None:
+                        trace(time, entry[1], entry[2])
+                    entry[2](entry[3])
+                    executed += 1
+                    continue
+                event = entry[2]
+                if event.cancelled:
+                    event.args = ()
+                    if len(pool) < _EVENT_POOL_CAP:
+                        pool_append(event)
+                    continue
+                if time > bound:
+                    heappush(bucket, entry)
+                    if bound == until and until > self.now:
+                        self.now = until
+                    break
+                self.now = time
+                if trace is not None:
+                    trace(time, entry[1], event.callback)
+                event.callback(*event.args)
+                executed += 1
+                event.callback = None
+                event.args = ()
+                if len(pool) < _EVENT_POOL_CAP:
+                    pool_append(event)
+        finally:
+            self._running = False
+        self._executed += executed
+        return executed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of queued entries (including lazily-cancelled ones).
+
+        Computed lazily — the hot path maintains no entry counter (the
+        occupancy bitmap already encodes calendar emptiness).
+        """
+        return (sum(len(b) for b in self._buckets)
+                + len(self._overflow))
+
+    @property
+    def executed(self) -> int:
+        """Total events executed since construction."""
+        return self._executed
+
+    @property
+    def pooled_events(self) -> int:
+        """Current size of the Event free list (introspection/tests)."""
+        return len(self._event_pool)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Simulator(now={self.now}ns, pending={self.pending}, "
+                f"executed={self.executed})")
+
+
+class HeapSimulator:
+    """Reference engine: one binary heap ordered by ``(time, seq)``.
+
+    The original implementation, kept (plus the drain-to-``until`` fix) so
+    the calendar engine's execution order can be A/B-checked against it.
+    Prefer :class:`Simulator` everywhere else; this one allocates a fresh
+    :class:`Event` per schedule and pays a Python-level ``__lt__`` call
+    for every heap comparison.  Deliberately *not* micro-optimised (no
+    ``__slots__``, no inlining): it is the measurement baseline.
     """
 
     def __init__(self, end_time: Optional[int] = None) -> None:
         self.now: int = 0
         self.end_time = end_time
+        self.trace: Optional[Callable[[int, int, Callable], None]] = None
         self._heap: list[Event] = []
         self._seq = 0
         self._executed = 0
@@ -63,6 +555,16 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         return self.schedule_at(self.now + int(delay), callback, *args)
+
+    def fire(self, delay: int, callback: Callable[[Any], Any],
+             arg: Any = None) -> None:
+        """Fire-and-forget schedule (API parity with :class:`Simulator`).
+
+        The seed engine has only Events, so this simply schedules one;
+        the ``seq`` consumed here keeps both engines' sequence counters
+        in lockstep, which the golden determinism test relies on.
+        """
+        self.schedule(delay, callback, arg)
 
     def schedule_at(self, time: int, callback: Callable[..., Any],
                     *args: Any) -> Event:
@@ -79,11 +581,7 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Execute the single next pending event.
-
-        Returns ``True`` if an event ran, ``False`` if the queue is empty
-        or the next event lies beyond ``end_time``.
-        """
+        """Execute the single next pending event."""
         while self._heap:
             event = self._heap[0]
             if event.cancelled:
@@ -99,10 +597,7 @@ class Simulator:
         return False
 
     def run(self, until: Optional[int] = None) -> int:
-        """Run events until the queue drains or ``until`` (absolute ns).
-
-        Returns the number of events executed by this call.
-        """
+        """Run events until the queue drains or ``until`` (absolute ns)."""
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
@@ -114,14 +609,20 @@ class Simulator:
                     heapq.heappop(self._heap)
                     continue
                 if until is not None and event.time > until:
-                    self.now = until
+                    if until > self.now:
+                        self.now = until
                     break
-                if self.end_time is not None and event.time > self.end_time:
+                if self.end_time is not None \
+                        and event.time > self.end_time:
                     break
                 heapq.heappop(self._heap)
                 self.now = event.time
+                if self.trace is not None:
+                    self.trace(event.time, event.seq, event.callback)
                 event.callback(*event.args)
                 executed += 1
+            if not self._heap and until is not None and until > self.now:
+                self.now = until
         finally:
             self._running = False
         self._executed += executed
@@ -141,5 +642,5 @@ class Simulator:
         return self._executed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"Simulator(now={self.now}ns, pending={self.pending}, "
+        return (f"HeapSimulator(now={self.now}ns, pending={self.pending}, "
                 f"executed={self.executed})")

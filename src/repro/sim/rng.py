@@ -1,25 +1,38 @@
 """Seeded randomness for deterministic simulations.
 
 Every source of randomness in the simulator (random packet spraying, ECMP
-hash salts, fault injection, jitter) draws from a :class:`SimRng`, which is
-a thin wrapper over :class:`numpy.random.Generator`.  Components that need
-independent streams call :meth:`SimRng.fork` with a stable label so adding
-a new consumer never perturbs existing streams.
+hash salts, fault injection, jitter) draws from a :class:`SimRng`, which
+wraps the stdlib :class:`random.Random` (Mersenne Twister).  Components
+that need independent streams call :meth:`SimRng.fork` with a stable label
+so adding a new consumer never perturbs existing streams.
+
+The stdlib generator is used instead of ``numpy.random.Generator`` on
+purpose: the simulator draws *scalars* on the per-packet hot path (path
+picks under random spraying, ECN coin flips, loss draws), and a scalar
+``Generator.integers`` call costs microseconds while ``random.Random``
+stays in the ~100 ns range.  Streams are still fully reproducible from the
+seed; they are simply different streams than a numpy-backed build drew.
 """
 
 from __future__ import annotations
 
+import random
 import zlib
-
-import numpy as np
 
 
 class SimRng:
     """Deterministic random source with labelled sub-streams."""
 
+    __slots__ = ("seed", "_gen", "_random", "u01")
+
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
-        self._gen = np.random.default_rng(self.seed)
+        self._gen = random.Random(self.seed)
+        # Bound method cached for the per-packet draws.  ``u01`` is the
+        # public alias: hot-path consumers (random spraying) grab it once
+        # and call straight into the C generator per draw.
+        self._random = self._gen.random
+        self.u01 = self._random
 
     def fork(self, label: str) -> "SimRng":
         """Derive an independent stream keyed by ``label``.
@@ -33,24 +46,30 @@ class SimRng:
 
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in ``[low, high)``."""
-        return int(self._gen.integers(low, high))
+        return self._gen.randrange(low, high)
 
     def choice(self, n: int) -> int:
-        """Uniform integer in ``[0, n)`` — convenience for path picks."""
-        return int(self._gen.integers(0, n))
+        """Uniform integer in ``[0, n)`` — convenience for path picks.
+
+        Computed as ``floor(random() * n)``: for the small ``n`` used in
+        path selection the floor bias is ~2**-53 and the draw stays on the
+        C fast path.
+        """
+        return int(self._random() * n)
 
     def random(self) -> float:
         """Uniform float in ``[0, 1)``."""
-        return float(self._gen.random())
+        return self._random()
 
     def exponential(self, mean: float) -> float:
         """Exponentially distributed sample with the given mean."""
-        return float(self._gen.exponential(mean))
+        return self._gen.expovariate(1.0 / mean)
 
     def shuffled(self, items: list) -> list:
         """Return a new list with the items in random order."""
-        order = self._gen.permutation(len(items))
-        return [items[i] for i in order]
+        out = list(items)
+        self._gen.shuffle(out)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimRng(seed={self.seed})"

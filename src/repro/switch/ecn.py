@@ -40,21 +40,26 @@ class EcnMarker:
     def __init__(self, config: EcnConfig, rng: SimRng) -> None:
         self.config = config
         self._rng = rng
+        # Thresholds copied out of the (frozen) config: should_mark runs
+        # once per data packet per hop, so the attribute chain matters.
+        self._kmin = config.kmin_bytes
+        self._kmax = config.kmax_bytes
+        self._pmax = config.pmax
+        self._span = max(1, config.kmax_bytes - config.kmin_bytes)
+        self._u01 = rng.u01
         self.marked = 0
         self.evaluated = 0
 
     def should_mark(self, queue_bytes: int) -> bool:
         """Decide marking for a packet that sees ``queue_bytes`` ahead."""
         self.evaluated += 1
-        cfg = self.config
-        if queue_bytes <= cfg.kmin_bytes:
+        if queue_bytes <= self._kmin:
             return False
-        if queue_bytes >= cfg.kmax_bytes:
+        if queue_bytes >= self._kmax:
             self.marked += 1
             return True
-        span = cfg.kmax_bytes - cfg.kmin_bytes
-        prob = cfg.pmax * (queue_bytes - cfg.kmin_bytes) / span
-        hit = self._rng.random() < prob
+        hit = (self._u01()
+               < self._pmax * (queue_bytes - self._kmin) / self._span)
         if hit:
             self.marked += 1
         return hit

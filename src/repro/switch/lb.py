@@ -99,10 +99,12 @@ class RandomSprayLB(LoadBalancer):
 
     def __init__(self, rng: SimRng) -> None:
         self._rng = rng
+        self._u01 = rng.u01
 
     def select(self, switch: "Switch", packet: Packet,
                candidates: Sequence["Port"]) -> "Port":
-        return candidates[self._rng.choice(len(candidates))]
+        # Flattened SimRng.choice: one C-level draw per sprayed packet.
+        return candidates[int(self._u01() * len(candidates))]
 
 
 class FlowletLB(LoadBalancer):

@@ -106,6 +106,10 @@ class Switch(Device):
         # (and what the PathMap construction has to account for).
         self.hash_salt = zlib.crc32(name.encode()) & 0xFFFF
         self.hash_rot = 1 + (zlib.crc32(name[::-1].encode()) % 15)
+        # ecmp_index is a pure function of (flow, sport, fan-out) for a
+        # fixed salt/rot, so its result can be memoised per switch — an
+        # ACK stream hits this dict instead of re-running the hash fold.
+        self._ecmp_cache: dict = {}
 
     # ------------------------------------------------------------------
     def add_port(self, bandwidth_bps: float, delay_ns: int) -> Port:
@@ -120,21 +124,43 @@ class Switch(Device):
 
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, in_port: Optional[Port]) -> None:
+        # forward() is inlined below — this runs once per packet per hop;
+        # keep the two bodies in sync.
         if self.pfc is not None:
             self.pfc.on_ingress(packet, in_port)
-        for mw in self.middleware:
-            if not mw.on_packet(self, packet, in_port):
-                if self.pfc is not None:
-                    self.pfc.on_egress(packet)  # consumed: credit ingress
-                return
-        self.forward(packet)
-
-    def forward(self, packet: Packet) -> None:
+        if self.middleware:
+            for mw in self.middleware:
+                if not mw.on_packet(self, packet, in_port):
+                    if self.pfc is not None:
+                        self.pfc.on_egress(packet)  # consumed: credit
+                    return
         candidates = self.routes.get(packet.dst)
         if not candidates:
             raise LookupError(
                 f"{self.name}: no route to NIC {packet.dst}")
-        port = self._select(packet, candidates)
+        if len(candidates) == 1:
+            # Downlink hops have exactly one route; skip the selector.
+            port = candidates[0]
+        else:
+            port = self._select(packet, candidates)
+        if not port.enqueue(packet) and self.pfc is not None:
+            self.pfc.on_egress(packet)  # dropped at admission: credit
+
+    def forward(self, packet: Packet) -> None:
+        """Route + LB + enqueue, without the ingress stages.
+
+        Kept as the entry point for middleware that re-injects packets
+        (Themis-D retransmits) and for tests; :meth:`receive` inlines
+        this body on the per-hop hot path.
+        """
+        candidates = self.routes.get(packet.dst)
+        if not candidates:
+            raise LookupError(
+                f"{self.name}: no route to NIC {packet.dst}")
+        if len(candidates) == 1:
+            port = candidates[0]
+        else:
+            port = self._select(packet, candidates)
         if not port.enqueue(packet) and self.pfc is not None:
             self.pfc.on_egress(packet)  # dropped at admission: credit
 
@@ -144,13 +170,18 @@ class Switch(Device):
         if packet.is_control:
             # Control traffic stays on a single hashed path: commodity
             # fabrics never spray the lossless ACK/NACK class.
-            return candidates[ecmp_index(packet, len(candidates),
-                                         salt=self.hash_salt,
-                                         rot=self.hash_rot)]
-        for mw in self.middleware:
-            chosen = mw.select_port(self, packet, candidates)
-            if chosen is not None:
-                return chosen
+            key = (packet.flow, packet.udp_sport, len(candidates))
+            index = self._ecmp_cache.get(key)
+            if index is None:
+                index = ecmp_index(packet, len(candidates),
+                                   salt=self.hash_salt, rot=self.hash_rot)
+                self._ecmp_cache[key] = index
+            return candidates[index]
+        if self.middleware:
+            for mw in self.middleware:
+                chosen = mw.select_port(self, packet, candidates)
+                if chosen is not None:
+                    return chosen
         return self.lb.select(self, packet, candidates)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,90 @@
+"""Conservation tests for the folded Port transmit path.
+
+The folded path schedules one delivery event per packet and tracks the
+serializer with a timestamp, so ``busy_ns`` is accumulated analytically
+(at pop time) rather than measured between start/finish events.  These
+tests pin the accounting: busy time equals the sum of per-packet
+serialization times, lost packets still occupy the wire, and idle gaps
+never accrue.
+"""
+
+from repro.net.packet import FlowKey, ack_packet, data_packet
+from repro.net.port import Port
+from repro.sim.engine import Simulator
+from repro.sim.rng import SimRng
+from tests.net.test_port import SinkDevice, make_port
+
+
+class TestBusyNsConservation:
+    def test_busy_equals_sum_of_serialization_times(self):
+        sim = Simulator()
+        port, dst = make_port(sim, bandwidth_bps=1e9, delay_ns=100)
+        pkts = [data_packet(FlowKey(0, 1), i, 1000 - 58) for i in range(5)]
+        expected = sum(port.serialization_ns(p) for p in pkts)
+        for pkt in pkts:
+            port.enqueue(pkt)
+        sim.run()
+        assert port.busy_ns == expected == 5 * 8000
+        assert len(dst.received) == 5
+
+    def test_mixed_control_and_data_all_accounted(self):
+        sim = Simulator()
+        port, dst = make_port(sim, bandwidth_bps=1e9, delay_ns=0)
+        pkts = [data_packet(FlowKey(0, 1), 0, 1000 - 58),
+                ack_packet(FlowKey(1, 0), 7),
+                data_packet(FlowKey(0, 1), 1, 500 - 58)]
+        expected = sum(port.serialization_ns(p) for p in pkts)
+        for pkt in pkts:
+            port.enqueue(pkt)
+        sim.run()
+        assert port.busy_ns == expected
+        assert len(dst.received) == 3
+
+    def test_lost_packets_still_occupy_the_wire(self):
+        """A drop decided at serialization start still burns one packet
+        time of link capacity — loss must not deflate utilisation."""
+        sim = Simulator()
+        port, dst = make_port(sim, bandwidth_bps=1e9, delay_ns=0)
+        port.set_loss(1.0, SimRng(3))
+        pkts = [data_packet(FlowKey(0, 1), i, 1000 - 58) for i in range(4)]
+        expected = sum(port.serialization_ns(p) for p in pkts)
+        for pkt in pkts:
+            port.enqueue(pkt)
+        sim.run()
+        assert dst.received == []
+        assert port.packets_dropped == 4
+        assert port.busy_ns == expected
+
+    def test_idle_gaps_do_not_accrue(self):
+        sim = Simulator()
+        port, dst = make_port(sim, bandwidth_bps=1e9, delay_ns=0)
+        port.enqueue(data_packet(FlowKey(0, 1), 0, 1000 - 58))
+        sim.run()
+        sim.schedule(50_000, lambda: port.enqueue(
+            data_packet(FlowKey(0, 1), 1, 1000 - 58)))
+        sim.run()
+        # Two packets of wire time, regardless of the 50 us idle gap.
+        assert port.busy_ns == 2 * 8000
+        assert sim.now >= 58_000
+
+    def test_busy_never_exceeds_elapsed_time_under_load(self):
+        sim = Simulator()
+        port, dst = make_port(sim, bandwidth_bps=1e9, delay_ns=200)
+        for i in range(50):
+            port.enqueue(data_packet(FlowKey(0, 1), i, 1000 - 58))
+        sim.run()
+        assert port.busy_ns <= sim.now
+        # Back-to-back backlog: the serializer was busy the whole time
+        # except the trailing propagation delay.
+        assert port.busy_ns == 50 * 8000 == sim.now - 200
+
+    def test_paused_data_does_not_serialize(self):
+        sim = Simulator()
+        port, dst = make_port(sim, bandwidth_bps=1e9, delay_ns=0)
+        port.pause_data()
+        port.enqueue(data_packet(FlowKey(0, 1), 0, 1000 - 58))
+        sim.run()
+        assert port.busy_ns == 0 and dst.received == []
+        port.resume_data()
+        sim.run()
+        assert port.busy_ns == 8000 and len(dst.received) == 1

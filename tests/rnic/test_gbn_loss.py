@@ -15,7 +15,7 @@ class TestGbnRecovery:
         for sw in net.topology.switches:
             if sw.name.startswith("spine"):
                 for port in sw.ports:
-                    port.set_loss(0.005, net.rng.fork(f"l{port.name}"))
+                    port.set_loss(0.02, net.rng.fork(f"l{port.name}"))
         net.post_message(0, 2, 300_000)
         net.post_message(1, 3, 300_000)
         net.run(until_ns=120_000_000_000)
@@ -32,7 +32,7 @@ class TestGbnRecovery:
             for sw in net.topology.switches:
                 if sw.name.startswith("spine"):
                     for port in sw.ports:
-                        port.set_loss(0.005,
+                        port.set_loss(0.02,
                                       net.rng.fork(f"l{port.name}"))
             net.post_message(0, 2, 300_000)
             net.run(until_ns=120_000_000_000)

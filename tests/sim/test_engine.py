@@ -100,6 +100,38 @@ class TestCancellation:
         assert not keep.cancelled
 
 
+class TestFire:
+    def test_fire_runs_callback_with_arg(self):
+        sim = Simulator()
+        seen = []
+        sim.fire(10, seen.append, "x")
+        sim.run()
+        assert seen == ["x"] and sim.now == 10
+
+    def test_fire_orders_with_scheduled_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5, order.append, "event@5")
+        sim.fire(5, order.append, "fire@5")
+        sim.fire(3, order.append, "fire@3")
+        sim.schedule(7, order.append, "event@7")
+        sim.run()
+        # Ties break by schedule order across both entry kinds.
+        assert order == ["fire@3", "event@5", "fire@5", "event@7"]
+
+    def test_fire_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.fire(-1, lambda _: None)
+
+    def test_fire_respects_end_time(self):
+        sim = Simulator(end_time=50)
+        ran = []
+        sim.fire(100, ran.append, 1)
+        assert sim.run() == 0
+        assert ran == [] and sim.pending == 1
+
+
 class TestRunControl:
     def test_run_until_stops_clock_at_bound(self):
         sim = Simulator()
@@ -111,6 +143,26 @@ class TestRunControl:
         assert sim.now == 50
         sim.run()
         assert ran == ["early", "late"]
+
+    def test_run_until_advances_clock_when_queue_drains(self):
+        # The queue empties before the bound: the caller must still
+        # observe now == until, same as the early-break case.
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        assert sim.run(until=500) == 1
+        assert sim.now == 500
+        sim = Simulator()
+        assert sim.run(until=300) == 0   # nothing scheduled at all
+        assert sim.now == 300
+
+    def test_pending_counts_calendar_and_overflow(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)           # calendar
+        sim.fire(20, lambda _: None)             # calendar, fire entry
+        sim.schedule(10**9, lambda: None)        # overflow heap
+        assert sim.pending == 3
+        sim.run()
+        assert sim.pending == 0
 
     def test_end_time_blocks_late_events(self):
         sim = Simulator(end_time=50)
