@@ -9,8 +9,6 @@ once capacity covers the last-hop BDP (plus queueing slack), misses stop.
 import pytest
 
 from collections import OrderedDict
-from dataclasses import replace
-
 from repro.collectives.group import interleaved_ring_groups
 from repro.harness.motivation import motivation_config
 from repro.harness.network import Network

@@ -8,8 +8,7 @@ what Eq. 4 predicts for the same QP census and ring capacity.
 
 import pytest
 
-from repro.harness.collective_runner import EvalScale, fig5_config, \
-    run_collective
+from repro.harness.collective_runner import EvalScale, fig5_config
 from repro.harness.network import Network
 from repro.harness.report import format_table
 from repro.themis.audit import audit_network

@@ -45,7 +45,6 @@ from __future__ import annotations
 
 import gc
 import json
-import multiprocessing
 import sys
 import time
 from dataclasses import asdict, dataclass
@@ -192,38 +191,34 @@ def run_scenario(name: str, *, quick: bool = False,
 
 
 # ----------------------------------------------------------------------
-# Process isolation
+# Process isolation (via the experiment job runner)
 # ----------------------------------------------------------------------
-def _measure_child(conn, name: str, quick: bool, engine: str) -> None:
-    """Entry point of one spawned measurement process."""
-    result = run_scenario(name, quick=quick, engine=engine)
-    conn.send(asdict(result))
-    conn.close()
-
-
 def _measure(name: str, *, quick: bool, engine: str,
              fresh_process: bool) -> ScenarioResult:
-    """One measurement, in a fresh spawned process when requested.
+    """One measurement as a job-runner job.
 
-    Falls back to an in-process run if spawning fails (restricted
-    environments); the numbers are then subject to warm-up drift but the
-    harness still works everywhere.
+    Full mode uses a fresh **spawned** subprocess per measurement (the
+    pyperf-style cold process of the methodology above — ``fork`` would
+    inherit the parent's warmed allocator arenas).  The runner degrades
+    to an in-process run if spawning fails (restricted environments);
+    the numbers are then subject to warm-up drift but the harness still
+    works everywhere.
     """
-    if fresh_process:
-        try:
-            ctx = multiprocessing.get_context("spawn")
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(target=_measure_child,
-                               args=(child_conn, name, quick, engine))
-            proc.start()
-            child_conn.close()
-            payload = parent_conn.recv()
-            proc.join()
-            if proc.exitcode == 0:
-                return ScenarioResult(**payload)
-        except Exception:
-            pass
-    return run_scenario(name, quick=quick, engine=engine)
+    from repro.harness.jobs import JobRunner, JobSpec
+
+    spec = JobSpec(kind="bench", seed=0,
+                   params={"scenario": name, "quick": quick,
+                           "engine": engine},
+                   label=f"bench/{name}/{engine}")
+    runner = JobRunner(workers=1,
+                       isolation="subprocess" if fresh_process
+                       else "inproc",
+                       retries=1, mp_method="spawn")
+    outcome = runner.run_one(spec)
+    if not outcome.ok:
+        raise RuntimeError(f"bench measurement {name}/{engine} failed: "
+                           f"{outcome.error}")
+    return ScenarioResult(**outcome.result)
 
 
 def _best_of(name: str, *, quick: bool, engine: str, repeats: int,
@@ -297,3 +292,38 @@ def run_bench(*, quick: bool = False, compare: bool = True,
             fh.write("\n")
         echo(f"wrote {out}")
     return doc
+
+
+# ----------------------------------------------------------------------
+# Regression gate (CI)
+# ----------------------------------------------------------------------
+def check_regression(doc: dict, baseline_path: str, *,
+                     max_regression: float = 0.30,
+                     echo: Callable[[str], None] = print) -> list[str]:
+    """Compare a bench document against a tracked baseline file.
+
+    Returns the list of regressions: scenarios whose ``events_per_sec``
+    fell more than ``max_regression`` (fraction) below the baseline.
+    Scenarios present on only one side are compared on the intersection;
+    absolute throughput differs across machines, so the gate is a
+    catch-big-regressions tripwire, not a precision benchmark.
+    """
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+    regressions: list[str] = []
+    base_scenarios = baseline.get("scenarios", {})
+    for name, current in doc.get("scenarios", {}).items():
+        base = base_scenarios.get(name)
+        if not base or not base.get("events_per_sec"):
+            continue
+        ratio = current["events_per_sec"] / base["events_per_sec"]
+        verdict = "ok"
+        if ratio < 1.0 - max_regression:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"{name}: {current['events_per_sec']:,} ev/s vs baseline "
+                f"{base['events_per_sec']:,} ev/s ({ratio:.2f}x, "
+                f"gate {1.0 - max_regression:.2f}x)")
+        echo(f"regression gate: {name:<10} {ratio:5.2f}x baseline "
+             f"({verdict})")
+    return regressions

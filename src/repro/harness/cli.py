@@ -5,8 +5,14 @@ Subcommands mirror the paper's experiments:
 * ``memory``      — Table 1 / §4 memory budget (instant).
 * ``motivation``  — the Fig. 1 study on one scheme/transport.
 * ``collective``  — one collective under one scheme + DCQCN config.
-* ``sweep``       — a full Fig. 5 panel.
+* ``sweep``       — a full Fig. 5 panel (``--workers/--resume/--timeout``
+  for parallel, checkpointed execution).
+* ``jobs``        — status of a sweep checkpoint file.
+* ``bench``       — engine perf benchmark (``--baseline`` gates CI).
 * ``pathmap``     — build and print a PathMap on a fat-tree (Fig. 3).
+
+Installed as the ``repro`` console script, so ``repro sweep`` works
+without ``python -m``.
 """
 
 from __future__ import annotations
@@ -62,6 +68,22 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("allreduce", "alltoall"))
     swp.add_argument("--schemes", default="ecmp,ar,themis")
     swp.add_argument("--seed", type=int, default=1)
+    swp.add_argument("--workers", type=int, default=1,
+                     help="parallel worker subprocesses (1 = serial)")
+    swp.add_argument("--resume", metavar="PATH", default=None,
+                     help="JSONL checkpoint: completed cells stream "
+                          "here and are skipped on re-run")
+    swp.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="per-job wall-clock timeout in seconds "
+                          "(workers > 1 only)")
+    swp.add_argument("--retries", type=int, default=2,
+                     help="retries per job on worker crash/timeout")
+    swp.add_argument("--progress", action="store_true",
+                     help="print per-job progress lines")
+
+    job = sub.add_parser("jobs", help="status of a job checkpoint file")
+    job.add_argument("--checkpoint", required=True, metavar="PATH",
+                     help="JSONL checkpoint written by sweep --resume")
 
     ben = sub.add_parser("bench", help="engine perf benchmark "
                                        "(writes BENCH_engine.json)")
@@ -74,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: 3 full, 1 quick)")
     ben.add_argument("--out", default="BENCH_engine.json",
                      help="result file (empty string to skip writing)")
+    ben.add_argument("--baseline", metavar="PATH", default=None,
+                     help="tracked bench JSON to gate against; exits "
+                          "non-zero on regression")
+    ben.add_argument("--max-regression", type=float, default=0.30,
+                     metavar="FRAC",
+                     help="allowed events/sec drop vs --baseline "
+                          "(default 0.30 = 30%%)")
 
     pmap = sub.add_parser("pathmap", help="Fig. 3 PathMap on a fat-tree")
     pmap.add_argument("--k", type=int, default=4)
@@ -148,9 +177,14 @@ def cmd_collective(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.metrics import JobCounters
     schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    counters = JobCounters()
     result = run_fig5_sweep(args.collective, schemes=schemes,
-                            seed=args.seed)
+                            seed=args.seed, workers=args.workers,
+                            timeout_s=args.timeout, retries=args.retries,
+                            checkpoint=args.resume, counters=counters,
+                            progress=print if args.progress else None)
     rows = []
     for cond in DCQCN_SWEEP:
         row = [f"({cond[0]:.0f}, {cond[1]:.0f})"]
@@ -162,7 +196,28 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if "ar" in schemes and "themis" in schemes:
         lo, hi = result.improvement_range("ar", "themis")
         print(f"Themis vs AR: {percent(lo)} .. {percent(hi)} lower")
+    print(f"jobs: {counters}")
     return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.harness.jobs import checkpoint_status
+    status = checkpoint_status(args.checkpoint)
+    print(format_table(["field", "value"], [
+        ("checkpoint", status["path"]),
+        ("records", status["records"]),
+        ("jobs", status["jobs"]),
+        ("done", status["done"]),
+        ("failed", status["failed"]),
+        ("retried", status["retried"]),
+        ("kinds", ", ".join(f"{k}={n}" for k, n
+                            in sorted(status["kinds"].items())) or "-"),
+        ("worker time (s)", status["elapsed_s"]),
+    ]))
+    for failure in status["failures"]:
+        print(f"FAILED {failure['spec_hash']} "
+              f"{failure['label'] or '(unlabelled)'}: {failure['error']}")
+    return 0 if not status["failures"] else 1
 
 
 def cmd_pathmap(args: argparse.Namespace) -> int:
@@ -185,9 +240,15 @@ def cmd_pathmap(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.harness.bench import run_bench
-    run_bench(quick=args.quick, compare=not args.no_compare,
-              repeats=args.repeats, out=args.out or None)
+    from repro.harness.bench import check_regression, run_bench
+    doc = run_bench(quick=args.quick, compare=not args.no_compare,
+                    repeats=args.repeats, out=args.out or None)
+    if args.baseline:
+        regressions = check_regression(
+            doc, args.baseline, max_regression=args.max_regression)
+        for line in regressions:
+            print(f"REGRESSION: {line}")
+        return 1 if regressions else 0
     return 0
 
 
@@ -197,6 +258,7 @@ COMMANDS = {
     "motivation": cmd_motivation,
     "collective": cmd_collective,
     "sweep": cmd_sweep,
+    "jobs": cmd_jobs,
     "pathmap": cmd_pathmap,
 }
 

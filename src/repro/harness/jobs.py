@@ -1,0 +1,615 @@
+"""Deterministic, crash-resilient job runner for experiment sweeps.
+
+The Fig. 5 sweep and the multi-seed replications are embarrassingly
+parallel — every (condition, scheme, seed) cell is an independent
+simulation — yet the seed harness ran them serially in one process.
+This module turns each cell into a self-describing :class:`JobSpec` and
+executes job lists on a bounded pool of **per-job subprocesses**, giving
+
+* **parallelism** — up to ``workers`` jobs in flight at once;
+* **isolation** — a crashing or leaking job takes down its own
+  subprocess, never the sweep;
+* **timeouts** — a wedged job is killed after ``timeout_s`` wall seconds;
+* **bounded retry with backoff** — worker crashes and timeouts are
+  retried up to ``retries`` times with exponential backoff (a job that
+  raises an ordinary exception is *not* retried: it is deterministic and
+  would fail again);
+* **checkpoint/resume** — completed results stream to an append-only
+  JSONL file keyed by spec-hash, so an interrupted sweep resumes where
+  it left off instead of recomputing.
+
+Determinism contract
+--------------------
+A job is identified by its **spec-hash**: the SHA-256 of the canonical
+JSON encoding of ``(kind, seed, params)``.  Results travel as
+JSON-normalised payloads on every path (in-process, subprocess pipe,
+checkpoint resume), and callers aggregate by iterating *specs* in their
+own deterministic order rather than completion order — so a parallel run
+is bitwise-identical to a serial one, proven by the golden test in
+``tests/harness/test_jobs.py``.
+
+Job kinds
+---------
+``collective``
+    One Fig. 5 cell: ``fig5_config(scheme, ti, td)`` +
+    ``run_collective``.  Params capture the full :class:`EvalScale` so
+    workers never consult the environment.
+``callable``
+    ``target(seed)`` for an importable ``"module:qualname"`` target —
+    the replication harness's escape hatch for metric extractors.
+``bench``
+    One perf-benchmark measurement (``repro.harness.bench``), so the
+    bench harness's fresh-process methodology rides the same machinery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.harness.metrics import JobCounters
+
+CHECKPOINT_VERSION = 1
+
+#: Start method for worker subprocesses: ``fork`` where available (cheap,
+#: inherits the warm interpreter), else ``spawn``.  Callers needing
+#: pyperf-style cold processes (the bench harness) pass ``"spawn"``.
+_DEFAULT_MP_METHOD = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                      else "spawn")
+
+
+# ----------------------------------------------------------------------
+# Job specs
+# ----------------------------------------------------------------------
+def _canonical(obj: object) -> str:
+    """Canonical JSON: sorted keys, no whitespace — stable hash input."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _json_roundtrip(obj: object) -> object:
+    """Normalise a payload through JSON so every execution path (serial,
+    pipe, checkpoint) yields byte-identical structures.  JSON float
+    round-trips are exact in Python 3, so no precision is lost."""
+    return json.loads(_canonical(obj))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One self-describing unit of work.
+
+    ``params`` must be JSON-serialisable; together with ``kind`` and
+    ``seed`` it fully determines the job (no hidden environment reads),
+    which is what makes the spec-hash a safe resume key.
+    """
+
+    kind: str
+    seed: int
+    params: dict = field(default_factory=dict)
+    #: Display-only; excluded from the hash.
+    label: str = ""
+
+    @property
+    def spec_hash(self) -> str:
+        digest = hashlib.sha256(_canonical(
+            {"kind": self.kind, "seed": self.seed,
+             "params": self.params}).encode()).hexdigest()
+        return digest[:16]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "seed": self.seed,
+                "params": self.params, "label": self.label}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "JobSpec":
+        return cls(kind=doc["kind"], seed=doc["seed"],
+                   params=doc.get("params", {}),
+                   label=doc.get("label", ""))
+
+    def describe(self) -> str:
+        return self.label or f"{self.kind}#{self.spec_hash[:8]}"
+
+
+# ----------------------------------------------------------------------
+# Job kind executors (resolved lazily to avoid import cycles)
+# ----------------------------------------------------------------------
+def _exec_collective(params: dict, seed: int) -> dict:
+    from repro.harness.collective_runner import (EvalScale, fig5_config,
+                                                 run_collective)
+    scale = EvalScale(**params["scale"])
+    config = fig5_config(params["scheme"], params["ti_us"],
+                         params["td_us"], scale=scale, seed=seed)
+    result = run_collective(config, params["collective"],
+                            bytes_per_group=params.get("bytes_per_group"),
+                            scale=scale)
+    return {
+        "scheme": result.scheme,
+        "collective": result.collective,
+        "bytes_per_group": result.bytes_per_group,
+        "tail_completion_ns": result.tail_completion_ns,
+        "group_completion_ns": list(result.group_completion_ns),
+        "completed": result.completed,
+        "summary": result.summary,
+    }
+
+
+def resolve_target(target: str) -> Callable:
+    """Resolve ``"module:qualname"`` to the callable it names."""
+    module_name, _, qualname = target.partition(":")
+    if not module_name or not qualname:
+        raise ValueError(f"target must be 'module:qualname', got {target!r}")
+    obj = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def callable_target(fn: Callable) -> Optional[str]:
+    """The ``"module:qualname"`` path of ``fn``, or ``None`` when it is
+    not importable from a worker (lambda, closure, local function)."""
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", "")
+    if not module or not qualname or "<" in qualname:
+        return None
+    try:
+        if resolve_target(f"{module}:{qualname}") is not fn:
+            return None
+    except Exception:
+        return None
+    return f"{module}:{qualname}"
+
+
+def _exec_callable(params: dict, seed: int) -> dict:
+    fn = resolve_target(params["target"])
+    return {"value": fn(seed, **params.get("kwargs", {}))}
+
+
+def _exec_bench(params: dict, seed: int) -> dict:
+    from dataclasses import asdict
+
+    from repro.harness.bench import run_scenario
+    result = run_scenario(params["scenario"], quick=params["quick"],
+                          engine=params["engine"])
+    return asdict(result)
+
+
+JOB_KINDS: dict[str, Callable[[dict, int], dict]] = {
+    "collective": _exec_collective,
+    "callable": _exec_callable,
+    "bench": _exec_bench,
+}
+
+
+def execute_spec(spec: JobSpec) -> dict:
+    """Run one job in the current process; returns the JSON payload."""
+    try:
+        executor = JOB_KINDS[spec.kind]
+    except KeyError:
+        raise ValueError(f"unknown job kind {spec.kind!r}; expected one "
+                         f"of {sorted(JOB_KINDS)}") from None
+    return _json_roundtrip(executor(spec.params, spec.seed))
+
+
+def _subprocess_entry(conn, spec_doc: dict) -> None:
+    """Worker-side entry point: run the job, ship payload or error."""
+    try:
+        payload = execute_spec(JobSpec.from_dict(spec_doc))
+        conn.send({"ok": True, "result": payload})
+    except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+        try:
+            conn.send({"ok": False,
+                       "error": f"{type(exc).__name__}: {exc}"})
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Outcomes and checkpointing
+# ----------------------------------------------------------------------
+@dataclass
+class JobOutcome:
+    """Terminal state of one job."""
+
+    spec: JobSpec
+    status: str  # "done" | "failed"
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    attempts: int = 1
+    elapsed_s: float = 0.0
+    from_checkpoint: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done"
+
+    def to_record(self) -> dict:
+        return {"v": CHECKPOINT_VERSION,
+                "spec_hash": self.spec.spec_hash,
+                "spec": self.spec.to_dict(),
+                "status": self.status,
+                "attempts": self.attempts,
+                "elapsed_s": round(self.elapsed_s, 4),
+                "error": self.error,
+                "result": self.result}
+
+    @classmethod
+    def from_record(cls, record: dict) -> "JobOutcome":
+        return cls(spec=JobSpec.from_dict(record["spec"]),
+                   status=record["status"],
+                   result=record.get("result"),
+                   error=record.get("error"),
+                   attempts=record.get("attempts", 1),
+                   elapsed_s=record.get("elapsed_s", 0.0),
+                   from_checkpoint=True)
+
+
+def read_checkpoint(path: str) -> list[dict]:
+    """All parseable records of a checkpoint file, oldest first.
+
+    A truncated final line (interrupted mid-write) is skipped rather
+    than treated as corruption — that is the expected crash artefact.
+    """
+    records = []
+    if not path or not os.path.exists(path):
+        return records
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(doc, dict) and "spec_hash" in doc:
+                records.append(doc)
+    return records
+
+
+def load_completed(path: str) -> dict[str, JobOutcome]:
+    """spec-hash -> outcome for every *successfully completed* job in a
+    checkpoint (last record per hash wins; failures are re-run)."""
+    latest: dict[str, dict] = {}
+    for record in read_checkpoint(path):
+        latest[record["spec_hash"]] = record
+    return {h: JobOutcome.from_record(r) for h, r in latest.items()
+            if r.get("status") == "done"}
+
+
+def checkpoint_status(path: str) -> dict:
+    """Summary counts for the ``repro jobs`` status subcommand."""
+    records = read_checkpoint(path)
+    latest: dict[str, dict] = {}
+    for record in records:
+        latest[record["spec_hash"]] = record
+    done = [r for r in latest.values() if r.get("status") == "done"]
+    failed = [r for r in latest.values() if r.get("status") != "done"]
+    kinds: dict[str, int] = {}
+    for r in latest.values():
+        kind = r.get("spec", {}).get("kind", "?")
+        kinds[kind] = kinds.get(kind, 0) + 1
+    return {"path": path,
+            "records": len(records),
+            "jobs": len(latest),
+            "done": len(done),
+            "failed": len(failed),
+            "retried": sum(1 for r in latest.values()
+                           if r.get("attempts", 1) > 1),
+            "kinds": kinds,
+            "elapsed_s": round(sum(r.get("elapsed_s", 0.0)
+                                   for r in done), 3),
+            "failures": [{"spec_hash": r["spec_hash"],
+                          "label": r.get("spec", {}).get("label", ""),
+                          "error": r.get("error")} for r in failed]}
+
+
+# ----------------------------------------------------------------------
+# The runner
+# ----------------------------------------------------------------------
+@dataclass
+class _Attempt:
+    spec: JobSpec
+    attempts: int = 0
+    not_before: float = 0.0
+
+
+class _Active:
+    """One in-flight subprocess job."""
+
+    __slots__ = ("attempt", "proc", "conn", "started", "deadline")
+
+    def __init__(self, attempt: _Attempt, proc, conn, started: float,
+                 deadline: Optional[float]) -> None:
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        self.started = started
+        self.deadline = deadline
+
+
+class JobRunner:
+    """Execute :class:`JobSpec` lists with isolation, retry, and resume.
+
+    ``workers=1`` with the default ``isolation="auto"`` runs jobs
+    in-process — byte-identical to the pre-runner serial harness and
+    convenient under debuggers.  Any ``workers>1`` (or
+    ``isolation="subprocess"``) runs every job in its own subprocess.
+    Timeouts are only enforceable with subprocess isolation.
+    """
+
+    def __init__(self, *, workers: int = 1,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 2, backoff_s: float = 0.5,
+                 checkpoint: Optional[str] = None,
+                 isolation: str = "auto",
+                 mp_method: Optional[str] = None,
+                 counters: Optional[JobCounters] = None,
+                 progress: Optional[Callable[[str], None]] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if isolation not in ("auto", "inproc", "subprocess"):
+            raise ValueError(f"unknown isolation {isolation!r}")
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.checkpoint = checkpoint
+        self.isolation = isolation
+        self.mp_method = mp_method or _DEFAULT_MP_METHOD
+        self.counters = counters if counters is not None else JobCounters()
+        self.progress = progress
+
+    # -- public API ----------------------------------------------------
+    def run(self, specs: Sequence[JobSpec]) -> dict[str, JobOutcome]:
+        """Run every spec; returns spec-hash -> :class:`JobOutcome`.
+
+        Duplicate spec-hashes are executed once.  Jobs already completed
+        in the checkpoint are skipped and surfaced with
+        ``from_checkpoint=True``.
+        """
+        unique: dict[str, JobSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.spec_hash, spec)
+        self.counters.submitted += len(unique)
+
+        outcomes: dict[str, JobOutcome] = {}
+        completed = (load_completed(self.checkpoint)
+                     if self.checkpoint else {})
+        pending: list[_Attempt] = []
+        for spec_hash, spec in unique.items():
+            prior = completed.get(spec_hash)
+            if prior is not None:
+                outcomes[spec_hash] = prior
+                self.counters.skipped += 1
+                self._emit(f"skip {spec.describe()} (checkpointed)")
+            else:
+                pending.append(_Attempt(spec))
+
+        if self._inproc():
+            for attempt in pending:
+                outcome = self._run_inproc(attempt)
+                self._record(outcomes, outcome)
+        else:
+            self._run_pool(pending, outcomes)
+        return outcomes
+
+    def run_one(self, spec: JobSpec) -> JobOutcome:
+        """Convenience single-job entry point (used by the bench)."""
+        return self.run([spec])[spec.spec_hash]
+
+    # -- internals -----------------------------------------------------
+    def _inproc(self) -> bool:
+        if self.isolation == "inproc":
+            return True
+        if self.isolation == "subprocess":
+            return False
+        return self.workers == 1
+
+    def _emit(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def _record(self, outcomes: dict[str, JobOutcome],
+                outcome: JobOutcome) -> None:
+        outcomes[outcome.spec.spec_hash] = outcome
+        if outcome.ok:
+            self.counters.completed += 1
+        else:
+            self.counters.failed += 1
+        self._checkpoint_write(outcome)
+        self._emit(f"{outcome.status} {outcome.spec.describe()} "
+                   f"({outcome.elapsed_s:.2f}s, "
+                   f"attempt {outcome.attempts})")
+
+    def _checkpoint_write(self, outcome: JobOutcome) -> None:
+        if not self.checkpoint:
+            return
+        parent = os.path.dirname(self.checkpoint)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.checkpoint, "a") as fh:
+            fh.write(_canonical(outcome.to_record()) + "\n")
+            fh.flush()
+
+    def _run_inproc(self, attempt: _Attempt) -> JobOutcome:
+        """Serial execution; retries cover exceptions only (no process
+        to crash, no timeout enforcement)."""
+        start = time.perf_counter()
+        while True:
+            attempt.attempts += 1
+            try:
+                payload = execute_spec(attempt.spec)
+            except Exception as exc:
+                if attempt.attempts <= self.retries and self._retryable(exc):
+                    self.counters.retries += 1
+                    continue
+                return JobOutcome(
+                    spec=attempt.spec, status="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempts=attempt.attempts,
+                    elapsed_s=time.perf_counter() - start)
+            return JobOutcome(spec=attempt.spec, status="done",
+                              result=payload, attempts=attempt.attempts,
+                              elapsed_s=time.perf_counter() - start)
+
+    @staticmethod
+    def _retryable(exc: Exception) -> bool:
+        """In-process retry policy: only infrastructure-ish errors.
+        Deterministic job exceptions would fail identically again."""
+        return isinstance(exc, (OSError, MemoryError))
+
+    # -- subprocess pool -----------------------------------------------
+    def _run_pool(self, pending: list[_Attempt],
+                  outcomes: dict[str, JobOutcome]) -> None:
+        ctx = multiprocessing.get_context(self.mp_method)
+        active: list[_Active] = []
+        try:
+            while pending or active:
+                self._launch_ready(ctx, pending, active, outcomes)
+                if not active:
+                    # Everything pending is backing off; sleep to the
+                    # earliest retry time.
+                    if pending:
+                        delay = min(a.not_before for a in pending) \
+                            - time.monotonic()
+                        if delay > 0:
+                            time.sleep(min(delay, 0.25))
+                    continue
+                self._reap(active, pending, outcomes)
+        finally:
+            for slot in active:  # interrupted: leave no orphans
+                self._kill(slot)
+
+    def _launch_ready(self, ctx, pending: list[_Attempt],
+                      active: list[_Active],
+                      outcomes: dict[str, JobOutcome]) -> None:
+        now = time.monotonic()
+        launchable = [a for a in pending if a.not_before <= now]
+        for attempt in launchable:
+            if len(active) >= self.workers:
+                break
+            pending.remove(attempt)
+            attempt.attempts += 1
+            try:
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(target=_subprocess_entry,
+                                   args=(child_conn,
+                                         attempt.spec.to_dict()),
+                                   daemon=True)
+                proc.start()
+                child_conn.close()
+            except Exception:
+                # Restricted environment: degrade to in-process for this
+                # attempt so the sweep still completes.
+                attempt.attempts -= 1
+                outcome = self._run_inproc(attempt)
+                self._record(outcomes, outcome)
+                continue
+            started = time.monotonic()
+            deadline = (started + self.timeout_s
+                        if self.timeout_s else None)
+            active.append(_Active(attempt, proc, parent_conn, started,
+                                  deadline))
+
+    def _reap(self, active: list[_Active], pending: list[_Attempt],
+              outcomes: dict[str, JobOutcome]) -> None:
+        multiprocessing.connection.wait(
+            [slot.conn for slot in active], timeout=0.05)
+        now = time.monotonic()
+        for slot in list(active):
+            message = None
+            if slot.conn.poll(0):
+                try:
+                    message = slot.conn.recv()
+                except (EOFError, OSError):
+                    message = None
+            if message is not None:
+                active.remove(slot)
+                slot.proc.join()
+                slot.conn.close()
+                self._finish(slot, message, pending, outcomes)
+            elif slot.deadline is not None and now > slot.deadline:
+                active.remove(slot)
+                self._kill(slot)
+                self.counters.timeouts += 1
+                self._retry_or_fail(
+                    slot, pending, outcomes,
+                    error=f"timeout after {self.timeout_s}s")
+            elif not slot.proc.is_alive():
+                active.remove(slot)
+                slot.conn.close()
+                self.counters.crashes += 1
+                self._retry_or_fail(
+                    slot, pending, outcomes,
+                    error=f"worker crashed "
+                          f"(exitcode {slot.proc.exitcode})")
+
+    def _finish(self, slot: _Active, message: dict,
+                pending: list[_Attempt],
+                outcomes: dict[str, JobOutcome]) -> None:
+        elapsed = time.monotonic() - slot.started
+        if message.get("ok"):
+            self._record(outcomes, JobOutcome(
+                spec=slot.attempt.spec, status="done",
+                result=message["result"],
+                attempts=slot.attempt.attempts, elapsed_s=elapsed))
+        else:
+            # The job raised: deterministic, do not retry.
+            self._record(outcomes, JobOutcome(
+                spec=slot.attempt.spec, status="failed",
+                error=message.get("error", "unknown job error"),
+                attempts=slot.attempt.attempts, elapsed_s=elapsed))
+
+    def _retry_or_fail(self, slot: _Active, pending: list[_Attempt],
+                       outcomes: dict[str, JobOutcome],
+                       error: str) -> None:
+        attempt = slot.attempt
+        if attempt.attempts <= self.retries:
+            self.counters.retries += 1
+            attempt.not_before = time.monotonic() + \
+                self.backoff_s * (2 ** (attempt.attempts - 1))
+            pending.append(attempt)
+            self._emit(f"retry {attempt.spec.describe()} after {error} "
+                       f"(attempt {attempt.attempts})")
+        else:
+            self._record(outcomes, JobOutcome(
+                spec=attempt.spec, status="failed", error=error,
+                attempts=attempt.attempts,
+                elapsed_s=time.monotonic() - slot.started))
+
+    @staticmethod
+    def _kill(slot: _Active) -> None:
+        try:
+            slot.proc.terminate()
+            slot.proc.join(1.0)
+            if slot.proc.is_alive():
+                slot.proc.kill()
+                slot.proc.join(1.0)
+        finally:
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+
+
+def run_jobs(specs: Sequence[JobSpec], **kwargs) -> dict[str, JobOutcome]:
+    """One-shot convenience wrapper around :class:`JobRunner`."""
+    return JobRunner(**kwargs).run(specs)
+
+
+def raise_on_failures(outcomes: dict[str, JobOutcome]) -> None:
+    """Raise a summarising :class:`RuntimeError` if any job failed."""
+    failures = [o for o in outcomes.values() if not o.ok]
+    if failures:
+        detail = "; ".join(
+            f"{o.spec.describe()}: {o.error}" for o in failures[:5])
+        more = f" (+{len(failures) - 5} more)" if len(failures) > 5 else ""
+        raise RuntimeError(
+            f"{len(failures)} job(s) failed: {detail}{more}")

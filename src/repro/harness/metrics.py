@@ -8,7 +8,7 @@ it to regenerate the paper's figures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.packet import FlowKey, Packet
@@ -18,6 +18,51 @@ from repro.sim.trace import RateMeter, TimeSeries, WindowedCounter
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.port import Port
     from repro.switch.switch import Switch
+
+
+@dataclass
+class JobCounters:
+    """Progress/failure counters for one experiment-runner invocation.
+
+    Filled in by :class:`repro.harness.jobs.JobRunner`; lives here so the
+    measurement hub owns every counter surface the harness reports on.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    #: Jobs satisfied from a resume checkpoint instead of recomputed.
+    skipped: int = 0
+
+    @property
+    def executed(self) -> int:
+        return self.completed + self.failed
+
+    def summary(self) -> dict:
+        return {"jobs_submitted": self.submitted,
+                "jobs_completed": self.completed,
+                "jobs_failed": self.failed,
+                "jobs_retried": self.retries,
+                "jobs_timed_out": self.timeouts,
+                "worker_crashes": self.crashes,
+                "jobs_skipped_from_checkpoint": self.skipped}
+
+    def __str__(self) -> str:
+        parts = [f"{self.completed}/{self.submitted} done"]
+        if self.skipped:
+            parts.append(f"{self.skipped} resumed")
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timed out")
+        if self.crashes:
+            parts.append(f"{self.crashes} crashed")
+        if self.failed:
+            parts.append(f"{self.failed} FAILED")
+        return ", ".join(parts)
 
 
 @dataclass

@@ -9,8 +9,8 @@ can assert on means instead of single draws.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -57,17 +57,52 @@ class ReplicatedStat:
                 f"[{self.min:.4g}, {self.max:.4g}] (n={self.n})")
 
 
+def _evaluate_seeds(extractor: Callable[[int], object],
+                    seeds: Sequence[int], *, workers: int,
+                    timeout_s: Optional[float],
+                    checkpoint: Optional[str]) -> list:
+    """One ``extractor(seed)`` evaluation per seed, in seed order.
+
+    With ``workers>1`` the per-seed runs fan out across the job runner
+    (per-seed subprocess isolation, timeout, crash retry, optional
+    checkpoint/resume) — provided the extractor is importable from a
+    worker (a module-level function).  Lambdas and closures cannot cross
+    a process boundary, so they fall back to the serial path.
+    """
+    from repro.harness.jobs import (JobRunner, JobSpec, callable_target,
+                                    raise_on_failures)
+
+    target = callable_target(extractor) if workers > 1 else None
+    if target is None:
+        return [extractor(s) for s in seeds]
+    specs = [JobSpec(kind="callable", seed=s,
+                     params={"target": target},
+                     label=f"{target} seed={s}") for s in seeds]
+    runner = JobRunner(workers=workers, timeout_s=timeout_s,
+                       checkpoint=checkpoint)
+    outcomes = runner.run(specs)
+    raise_on_failures(outcomes)
+    return [outcomes[spec.spec_hash].result["value"] for spec in specs]
+
+
 def replicate(metric: Callable[[int], float], *,
               seeds: Sequence[int] = (1, 2, 3, 4, 5),
-              name: str = "metric") -> ReplicatedStat:
+              name: str = "metric", workers: int = 1,
+              timeout_s: Optional[float] = None,
+              checkpoint: Optional[str] = None) -> ReplicatedStat:
     """Evaluate ``metric(seed)`` across seeds."""
     if not seeds:
         raise ValueError("need at least one seed")
-    return ReplicatedStat(name, tuple(float(metric(s)) for s in seeds))
+    values = _evaluate_seeds(metric, seeds, workers=workers,
+                             timeout_s=timeout_s, checkpoint=checkpoint)
+    return ReplicatedStat(name, tuple(float(v) for v in values))
 
 
 def replicate_many(metrics: Callable[[int], dict], *,
-                   seeds: Sequence[int] = (1, 2, 3, 4, 5)
+                   seeds: Sequence[int] = (1, 2, 3, 4, 5),
+                   workers: int = 1,
+                   timeout_s: Optional[float] = None,
+                   checkpoint: Optional[str] = None
                    ) -> dict[str, ReplicatedStat]:
     """Evaluate a dict-returning extractor across seeds.
 
@@ -76,7 +111,8 @@ def replicate_many(metrics: Callable[[int], dict], *,
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    rows = [metrics(s) for s in seeds]
+    rows = _evaluate_seeds(metrics, seeds, workers=workers,
+                           timeout_s=timeout_s, checkpoint=checkpoint)
     keys = rows[0].keys()
     for row in rows[1:]:
         if row.keys() != keys:

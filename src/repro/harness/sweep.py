@@ -1,13 +1,22 @@
-"""Fig. 5 parameter sweep: schemes x DCQCN (TI, TD) configurations."""
+"""Fig. 5 parameter sweep: schemes x DCQCN (TI, TD) configurations.
+
+Every (condition, scheme) cell is an independent simulation, so the
+sweep expands into :class:`~repro.harness.jobs.JobSpec` units and runs
+on the job runner: ``workers=1`` (the default) is the original serial
+path, ``workers>1`` fans cells out across per-job subprocesses, and a
+``checkpoint`` path makes an interrupted sweep resumable.  Aggregation
+iterates the spec grid in deterministic (condition, scheme) order — not
+completion order — so parallel results are bitwise-identical to serial.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Optional, Sequence
 
-from repro.harness.collective_runner import (CollectiveRunResult,
-                                             EvalScale, fig5_config,
-                                             run_collective)
+from repro.harness.collective_runner import CollectiveRunResult, EvalScale
+from repro.harness.jobs import (JobRunner, JobSpec, raise_on_failures)
+from repro.harness.metrics import JobCounters
 
 #: The five (TI, TD) pairs of Fig. 5, in microseconds; (900, 4) is the
 #: vendor-recommended configuration.
@@ -46,21 +55,65 @@ class SweepResult:
         return (min(values), max(values))
 
 
+def sweep_job_specs(collective: str = "allreduce", *,
+                    schemes: Sequence[str] = DEFAULT_SCHEMES,
+                    conditions: Sequence[tuple[float, float]] = DCQCN_SWEEP,
+                    scale: Optional[EvalScale] = None,
+                    bytes_per_group: Optional[int] = None,
+                    seed: int = 1) -> list[JobSpec]:
+    """Expand one Fig. 5 panel into self-describing job specs.
+
+    The :class:`EvalScale` is resolved *here* (including the
+    ``REPRO_EVAL_SCALE`` environment override) and baked into each spec,
+    so workers never consult the environment and a checkpoint replays
+    identically wherever it is resumed.
+    """
+    scale = scale or EvalScale.from_env()
+    specs = []
+    for ti_us, td_us in conditions:
+        for scheme in schemes:
+            specs.append(JobSpec(
+                kind="collective", seed=seed,
+                params={"scheme": scheme,
+                        "ti_us": float(ti_us), "td_us": float(td_us),
+                        "collective": collective,
+                        "bytes_per_group": bytes_per_group,
+                        "scale": asdict(scale)},
+                label=(f"{collective}/{scheme} "
+                       f"TI={ti_us:g}us TD={td_us:g}us seed={seed}")))
+    return specs
+
+
 def run_fig5_sweep(collective: str = "allreduce", *,
                    schemes: Sequence[str] = DEFAULT_SCHEMES,
                    conditions: Sequence[tuple[float, float]] = DCQCN_SWEEP,
                    scale: Optional[EvalScale] = None,
                    bytes_per_group: Optional[int] = None,
-                   seed: int = 1) -> SweepResult:
+                   seed: int = 1,
+                   workers: int = 1,
+                   timeout_s: Optional[float] = None,
+                   retries: int = 2,
+                   checkpoint: Optional[str] = None,
+                   counters: Optional[JobCounters] = None,
+                   progress: Optional[Callable[[str], None]] = None
+                   ) -> SweepResult:
     """Run every (condition, scheme) cell of one Fig. 5 panel."""
+    specs = sweep_job_specs(collective, schemes=schemes,
+                            conditions=conditions, scale=scale,
+                            bytes_per_group=bytes_per_group, seed=seed)
+    runner = JobRunner(workers=workers, timeout_s=timeout_s,
+                       retries=retries, checkpoint=checkpoint,
+                       counters=counters, progress=progress)
+    outcomes = runner.run(specs)
+    raise_on_failures(outcomes)
+
     result = SweepResult(collective)
+    index = 0
     for ti_us, td_us in conditions:
         row: dict[str, CollectiveRunResult] = {}
         for scheme in schemes:
-            config = fig5_config(scheme, ti_us, td_us, scale=scale,
-                                 seed=seed)
-            row[scheme] = run_collective(config, collective,
-                                         bytes_per_group=bytes_per_group,
-                                         scale=scale)
+            payload = outcomes[specs[index].spec_hash].result
+            row[scheme] = CollectiveRunResult(**payload)
+            index += 1
         result.runs[(ti_us, td_us)] = row
     return result

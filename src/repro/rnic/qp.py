@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.cc.base import CongestionControl
-from repro.net.packet import FlowKey, Packet, data_packet
+from repro.net.packet import FlowKey, data_packet
 from repro.rnic.config import RnicConfig
 from repro.sim.engine import SEC, Simulator
 from repro.sim.events import Event

@@ -8,7 +8,7 @@ path count ``N`` the validation rule (Eq. 3) needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.packet import FlowKey

@@ -212,7 +212,6 @@ class TestByteCounter:
         target_after_bytes = cc.rate_target
         # Only additive increase should have applied (not hyper): the
         # target has grown by at most stages * Rai.
-        max_additive = 10 * cc.rate_ai_bps
         assert cc.rate_target - cc.line_rate_bps <= 0
         assert target_after_bytes <= cc.line_rate_bps
         # With both clocks running the rate fully recovers and the

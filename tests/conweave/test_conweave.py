@@ -4,7 +4,6 @@ import pytest
 
 from repro.conweave.config import ConweaveConfig
 from repro.conweave.dest import InOrderDest
-from repro.harness.metrics import Metrics
 from repro.harness.network import Network, NetworkConfig, TopologySpec
 from repro.net.node import Device
 from repro.net.packet import FlowKey, data_packet

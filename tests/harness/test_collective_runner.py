@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.harness.collective_runner import (CollectiveRunResult,
-                                             EvalScale, fig5_config,
+from repro.harness.collective_runner import (EvalScale, fig5_config,
                                              run_collective)
 from repro.harness.sweep import DCQCN_SWEEP, SweepResult, run_fig5_sweep
 

@@ -1,0 +1,285 @@
+"""Job-runner semantics: isolation, retry, timeout, resume, determinism."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.harness.collective_runner import EvalScale
+from repro.harness.jobs import (JobSpec, callable_target,
+                                checkpoint_status, load_completed,
+                                raise_on_failures, read_checkpoint,
+                                run_jobs)
+from repro.harness.metrics import JobCounters
+from repro.harness.replication import replicate, replicate_many
+from repro.harness.sweep import DCQCN_SWEEP, run_fig5_sweep, sweep_job_specs
+
+TINY_SCALE = EvalScale(num_tors=2, num_spines=2, nics_per_tor=2,
+                       collective_bytes=60_000)
+
+
+# ----------------------------------------------------------------------
+# Worker-side helpers (module-level so they are importable from workers)
+# ----------------------------------------------------------------------
+def square(seed):
+    return float(seed * seed)
+
+
+def seed_metrics(seed):
+    return {"seed": float(seed), "double": float(2 * seed)}
+
+
+def crash_unless_marker(seed, marker=""):
+    """os._exit (a hard worker crash, no exception) on the first attempt;
+    succeed once the marker file exists."""
+    if os.path.exists(marker):
+        return seed + 100
+    with open(marker, "w") as fh:
+        fh.write("attempted\n")
+    os._exit(3)
+
+
+def always_crash(seed):
+    os._exit(3)
+
+
+def sleep_forever(seed):
+    time.sleep(60)
+    return seed
+
+
+def always_raises(seed):
+    raise ValueError(f"deterministic failure for seed {seed}")
+
+
+def _callable_spec(fn, seed, **kwargs):
+    return JobSpec(kind="callable", seed=seed,
+                   params={"target": callable_target(fn),
+                           "kwargs": kwargs})
+
+
+class TestJobSpec:
+    def test_spec_hash_is_stable_and_param_sensitive(self):
+        a = JobSpec(kind="callable", seed=1, params={"target": "m:f"})
+        b = JobSpec(kind="callable", seed=1, params={"target": "m:f"},
+                    label="display only")
+        c = JobSpec(kind="callable", seed=2, params={"target": "m:f"})
+        assert a.spec_hash == b.spec_hash  # label excluded
+        assert a.spec_hash != c.spec_hash
+        assert a == JobSpec.from_dict(a.to_dict())
+
+    def test_callable_target_rejects_lambdas(self):
+        assert callable_target(lambda s: s) is None
+        assert callable_target(square) == \
+            f"{__name__}:square"
+
+    def test_unknown_kind_fails_cleanly(self):
+        outcomes = run_jobs([JobSpec(kind="nope", seed=1)])
+        (outcome,) = outcomes.values()
+        assert not outcome.ok
+        with pytest.raises(RuntimeError, match="1 job"):
+            raise_on_failures(outcomes)
+
+
+class TestRunnerCore:
+    def test_serial_inproc_execution(self):
+        specs = [_callable_spec(square, s) for s in (1, 2, 3)]
+        outcomes = run_jobs(specs, workers=1)
+        assert [outcomes[s.spec_hash].result["value"]
+                for s in specs] == [1.0, 4.0, 9.0]
+        assert all(o.ok and not o.from_checkpoint
+                   for o in outcomes.values())
+
+    def test_parallel_subprocess_execution(self):
+        specs = [_callable_spec(square, s) for s in range(1, 7)]
+        counters = JobCounters()
+        outcomes = run_jobs(specs, workers=3, counters=counters)
+        assert [outcomes[s.spec_hash].result["value"]
+                for s in specs] == [1.0, 4.0, 9.0, 16.0, 25.0, 36.0]
+        assert counters.completed == 6
+        assert counters.failed == 0
+
+    def test_duplicate_specs_run_once(self):
+        spec = _callable_spec(square, 5)
+        counters = JobCounters()
+        outcomes = run_jobs([spec, spec, spec], counters=counters)
+        assert counters.submitted == 1
+        assert len(outcomes) == 1
+
+    def test_job_exception_fails_without_retry(self):
+        counters = JobCounters()
+        outcomes = run_jobs([_callable_spec(always_raises, 1)],
+                            workers=2, counters=counters)
+        (outcome,) = outcomes.values()
+        assert not outcome.ok
+        assert "deterministic failure" in outcome.error
+        assert outcome.attempts == 1
+        assert counters.retries == 0
+
+
+class TestCrashAndTimeout:
+    def test_worker_crash_is_retried_until_success(self, tmp_path):
+        marker = str(tmp_path / "attempted.flag")
+        counters = JobCounters()
+        outcomes = run_jobs(
+            [_callable_spec(crash_unless_marker, 7, marker=marker)],
+            workers=2, retries=2, backoff_s=0.01, counters=counters)
+        (outcome,) = outcomes.values()
+        assert outcome.ok
+        assert outcome.result["value"] == 107
+        assert outcome.attempts == 2
+        assert counters.crashes == 1
+        assert counters.retries == 1
+
+    def test_worker_crash_exhausts_bounded_retries(self):
+        counters = JobCounters()
+        outcomes = run_jobs(
+            [_callable_spec(always_crash, 7)],
+            workers=2, retries=1, backoff_s=0.01, counters=counters)
+        (outcome,) = outcomes.values()
+        assert not outcome.ok
+        assert outcome.attempts == 2  # 1 try + 1 retry
+        assert counters.failed == 1
+
+    def test_timeout_kills_the_worker(self):
+        counters = JobCounters()
+        start = time.monotonic()
+        outcomes = run_jobs([_callable_spec(sleep_forever, 1)],
+                            workers=2, timeout_s=0.5, retries=0,
+                            counters=counters)
+        elapsed = time.monotonic() - start
+        (outcome,) = outcomes.values()
+        assert not outcome.ok
+        assert "timeout" in outcome.error
+        assert counters.timeouts == 1
+        assert elapsed < 30  # the 60s sleep was killed, not awaited
+
+    def test_timeout_then_retry_counts_both(self):
+        counters = JobCounters()
+        outcomes = run_jobs([_callable_spec(sleep_forever, 1)],
+                            workers=2, timeout_s=0.3, retries=1,
+                            backoff_s=0.01, counters=counters)
+        (outcome,) = outcomes.values()
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert counters.timeouts == 2
+        assert counters.retries == 1
+
+
+class TestCheckpointResume:
+    def test_completed_jobs_are_skipped_on_resume(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt.jsonl")
+        first = [_callable_spec(square, s) for s in (1, 2)]
+        run_jobs(first, workers=2, checkpoint=ckpt)
+
+        both = first + [_callable_spec(square, 3)]
+        counters = JobCounters()
+        outcomes = run_jobs(both, workers=2, checkpoint=ckpt,
+                            counters=counters)
+        assert counters.skipped == 2
+        assert counters.completed == 1  # only the new job ran
+        assert [outcomes[s.spec_hash].result["value"]
+                for s in both] == [1.0, 4.0, 9.0]
+        assert [outcomes[s.spec_hash].from_checkpoint
+                for s in both] == [True, True, False]
+
+    def test_failed_checkpoint_entries_are_rerun(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt.jsonl")
+        run_jobs([_callable_spec(always_raises, 1)], checkpoint=ckpt)
+        assert checkpoint_status(ckpt)["failed"] == 1
+
+        counters = JobCounters()
+        run_jobs([_callable_spec(always_raises, 1)], checkpoint=ckpt,
+                 counters=counters)
+        assert counters.skipped == 0  # failures never satisfy resume
+        assert counters.failed == 1
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt.jsonl")
+        spec = _callable_spec(square, 2)
+        run_jobs([spec], checkpoint=ckpt)
+        with open(ckpt, "a") as fh:
+            fh.write('{"spec_hash": "deadbeef", "status": "do')  # crash
+        assert len(read_checkpoint(ckpt)) == 1
+        assert spec.spec_hash in load_completed(ckpt)
+
+    def test_checkpoint_status_summary(self, tmp_path):
+        ckpt = str(tmp_path / "ckpt.jsonl")
+        run_jobs([_callable_spec(square, s) for s in (1, 2)],
+                 checkpoint=ckpt)
+        run_jobs([_callable_spec(always_raises, 9)], checkpoint=ckpt)
+        status = checkpoint_status(ckpt)
+        assert status["jobs"] == 3
+        assert status["done"] == 2
+        assert status["failed"] == 1
+        assert status["kinds"] == {"callable": 3}
+        assert len(status["failures"]) == 1
+
+    def test_missing_checkpoint_reads_empty(self, tmp_path):
+        assert read_checkpoint(str(tmp_path / "absent.jsonl")) == []
+        assert checkpoint_status(str(tmp_path / "absent.jsonl"))["jobs"] == 0
+
+
+class TestSweepIntegration:
+    CONDS = DCQCN_SWEEP[:2]
+    SCHEMES = ("ecmp", "themis")
+
+    @staticmethod
+    def _fingerprint(result):
+        """Canonical byte-level encoding of an aggregated SweepResult."""
+        return json.dumps(
+            {f"{ti:g},{td:g}": {scheme: vars(run)
+                                for scheme, run in row.items()}
+             for (ti, td), row in result.runs.items()},
+            sort_keys=True)
+
+    def test_sweep_specs_are_deterministic(self):
+        a = sweep_job_specs("allreduce", schemes=self.SCHEMES,
+                            conditions=self.CONDS, scale=TINY_SCALE)
+        b = sweep_job_specs("allreduce", schemes=self.SCHEMES,
+                            conditions=self.CONDS, scale=TINY_SCALE)
+        assert [s.spec_hash for s in a] == [s.spec_hash for s in b]
+        assert len({s.spec_hash for s in a}) == len(a)
+
+    def test_golden_serial_equals_parallel(self):
+        """The acceptance-gate invariant: parallel aggregation is
+        bitwise-identical to serial."""
+        serial = run_fig5_sweep("allreduce", schemes=self.SCHEMES,
+                                conditions=self.CONDS, scale=TINY_SCALE,
+                                workers=1)
+        parallel = run_fig5_sweep("allreduce", schemes=self.SCHEMES,
+                                  conditions=self.CONDS, scale=TINY_SCALE,
+                                  workers=4)
+        assert self._fingerprint(serial) == self._fingerprint(parallel)
+
+    def test_sweep_resume_roundtrip(self, tmp_path):
+        ckpt = str(tmp_path / "sweep.jsonl")
+        full = run_fig5_sweep("allreduce", schemes=self.SCHEMES,
+                              conditions=self.CONDS, scale=TINY_SCALE,
+                              workers=2, checkpoint=ckpt)
+        counters = JobCounters()
+        resumed = run_fig5_sweep("allreduce", schemes=self.SCHEMES,
+                                 conditions=self.CONDS, scale=TINY_SCALE,
+                                 workers=2, checkpoint=ckpt,
+                                 counters=counters)
+        assert counters.skipped == len(self.CONDS) * len(self.SCHEMES)
+        assert counters.completed == 0
+        assert self._fingerprint(full) == self._fingerprint(resumed)
+
+
+class TestReplicationIntegration:
+    def test_parallel_replicate_matches_serial(self):
+        serial = replicate(square, seeds=(1, 2, 3), name="sq", workers=1)
+        parallel = replicate(square, seeds=(1, 2, 3), name="sq",
+                             workers=3)
+        assert serial == parallel
+        assert parallel.values == (1.0, 4.0, 9.0)
+
+    def test_parallel_replicate_many(self):
+        stats = replicate_many(seed_metrics, seeds=(1, 2), workers=2)
+        assert stats["double"].values == (2.0, 4.0)
+
+    def test_lambda_falls_back_to_serial(self):
+        stat = replicate(lambda s: float(s), seeds=(4, 5), workers=4)
+        assert stat.values == (4.0, 5.0)

@@ -4,7 +4,6 @@ import pytest
 
 from repro.harness.network import (Network, NetworkConfig, SCHEMES,
                                    TopologySpec, TRANSPORTS)
-from repro.net.packet import FlowKey
 from repro.themis.dest import ThemisDest
 from repro.themis.source import ThemisSource
 

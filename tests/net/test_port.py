@@ -5,7 +5,7 @@ import pytest
 from repro.net.node import Device
 from repro.net.packet import FlowKey, ack_packet, data_packet
 from repro.net.port import Port, QueuePolicy
-from repro.sim.engine import SEC, Simulator
+from repro.sim.engine import Simulator
 from repro.sim.rng import SimRng
 
 

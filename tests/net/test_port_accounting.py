@@ -9,10 +9,9 @@ never accrue.
 """
 
 from repro.net.packet import FlowKey, ack_packet, data_packet
-from repro.net.port import Port
 from repro.sim.engine import Simulator
 from repro.sim.rng import SimRng
-from tests.net.test_port import SinkDevice, make_port
+from tests.net.test_port import make_port
 
 
 class TestBusyNsConservation:

@@ -3,7 +3,6 @@
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.net.packet import FlowKey
-from repro.rnic.config import RnicConfig
 
 from tests.rnic.conftest import NicPair
 

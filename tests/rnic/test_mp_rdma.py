@@ -1,7 +1,5 @@
 """Tests for the MPRDMA-style transport (rich NACKs + sender filtering)."""
 
-import pytest
-
 from repro.collectives.group import interleaved_ring_groups
 from repro.harness.motivation import motivation_config
 from repro.harness.network import Network

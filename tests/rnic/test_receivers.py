@@ -9,7 +9,6 @@ import pytest
 from repro.cc.base import FixedRate
 from repro.harness.metrics import Metrics
 from repro.net.packet import FlowKey, PacketType, data_packet
-from repro.net.port import Port
 from repro.rnic.config import RnicConfig
 from repro.rnic.nic import Rnic
 from repro.rnic.reliability import GbnReceiver, IdealReceiver, NicSrReceiver

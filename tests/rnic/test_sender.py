@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cc.base import CongestionControl, FixedRate
+from repro.cc.base import FixedRate
 from repro.net.packet import FlowKey
 from repro.rnic.config import RnicConfig
 from repro.sim.engine import MS, US

@@ -4,7 +4,6 @@ import pytest
 
 from repro.net.node import Device
 from repro.net.packet import FlowKey, data_packet
-from repro.net.port import Port
 from repro.sim.engine import Simulator
 from repro.sim.rng import SimRng
 from repro.switch.buffer import SharedBuffer

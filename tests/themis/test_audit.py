@@ -1,7 +1,7 @@
 """Tests for the deployed-state memory audit."""
 
 from repro.harness.network import Network, NetworkConfig, TopologySpec
-from repro.themis.audit import audit_network, audit_switch
+from repro.themis.audit import audit_network
 from repro.themis.memory import FLOW_ENTRY_BYTES
 
 TOPO = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=2,

@@ -1,8 +1,6 @@
 """Unit tests for Themis-D: tPSN identification, Eq. 3 validation, and
 NACK compensation — driven packet by packet against a mock ToR."""
 
-import pytest
-
 from repro.harness.metrics import Metrics
 from repro.net.node import Device
 from repro.net.packet import (FlowKey, PacketType, data_packet,

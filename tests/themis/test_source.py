@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.harness.metrics import Metrics
 from repro.net.node import Device
 from repro.net.packet import FlowKey, ack_packet, data_packet
 from repro.sim.engine import Simulator
