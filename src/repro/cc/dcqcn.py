@@ -27,7 +27,7 @@ from typing import Optional
 from repro.cc.base import CongestionControl
 from repro.sim.engine import US, Simulator
 from repro.sim.events import Event
-from repro.sim.trace import TimeSeries
+from repro.obs.timeseries import TimeSeries
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,11 @@ class Dcqcn(CongestionControl):
         self.decreases = 0
         self.increases = 0
 
+        # CC observability channel (repro.obs), attached by the harness
+        # cc factory together with a display location (None = disabled).
+        self.rec = None
+        self.rec_loc = ""
+
     # ------------------------------------------------------------------
     @property
     def rate_bps(self) -> float:
@@ -96,6 +101,9 @@ class Dcqcn(CongestionControl):
                                 max(self.min_rate_bps, rate))
         if self.rate_trace is not None:
             self.rate_trace.record(self.sim.now, self.rate_current)
+        if self.rec is not None:
+            self.rec.cc_rate(self.sim.now, self.rec_loc,
+                             self.rate_current)
 
     # ------------------------------------------------------------------
     # Decrease path

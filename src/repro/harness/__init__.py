@@ -13,7 +13,7 @@ from repro.harness.network import (Network, NetworkConfig, TopologySpec,
 from repro.harness.replication import (ReplicatedStat, replicate,
                                        replicate_many)
 from repro.harness.sweep import (DCQCN_SWEEP, SweepResult, run_fig5_sweep)
-from repro.harness.tracer import PacketTracer, TraceEvent, attach_tracer
+from repro.obs.capture import PacketTracer, TraceEvent, attach_tracer
 
 __all__ = [
     "Network", "NetworkConfig", "TopologySpec", "SCHEMES", "TRANSPORTS",

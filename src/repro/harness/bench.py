@@ -101,12 +101,13 @@ def _stop_when_done(net: Network, total: int) -> Callable[[], None]:
     return one_done
 
 
-def _build_incast(quick: bool, sim) -> Network:
+def _build_incast(quick: bool, sim, recorder=None) -> Network:
     topo = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=2,
                         nics_per_tor=8, link_bandwidth_bps=100e9,
                         link_delay_ns=US)
     net = Network(NetworkConfig(topology=topo, scheme="rps",
-                                transport="nic_sr", seed=7), sim=sim)
+                                transport="nic_sr", seed=7), sim=sim,
+                  recorder=recorder)
     nbytes = _scale(quick, 200_000)
     done = _stop_when_done(net, 15)
     for src in range(1, 16):
@@ -114,14 +115,15 @@ def _build_incast(quick: bool, sim) -> Network:
     return net
 
 
-def _build_alltoall(quick: bool, sim) -> Network:
+def _build_alltoall(quick: bool, sim, recorder=None) -> Network:
     # Wide fabric: 8-way spray at every source ToR, 992 concurrent flows.
     # This is the geometry the >=2x engine acceptance gate is measured on.
     topo = TopologySpec(kind="leaf_spine", num_tors=16, num_spines=8,
                         nics_per_tor=2, link_bandwidth_bps=100e9,
                         link_delay_ns=US)
     net = Network(NetworkConfig(topology=topo, scheme="rps",
-                                transport="nic_sr", seed=7), sim=sim)
+                                transport="nic_sr", seed=7), sim=sim,
+                  recorder=recorder)
     nbytes = _scale(quick, 120_000)
     nodes = 32
     done = _stop_when_done(net, nodes * (nodes - 1))
@@ -132,12 +134,13 @@ def _build_alltoall(quick: bool, sim) -> Network:
     return net
 
 
-def _build_lossy(quick: bool, sim) -> Network:
+def _build_lossy(quick: bool, sim, recorder=None) -> Network:
     topo = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=2,
                         nics_per_tor=2, link_bandwidth_bps=100e9,
                         link_delay_ns=US)
     net = Network(NetworkConfig(topology=topo, scheme="rps",
-                                transport="nic_sr", seed=7), sim=sim)
+                                transport="nic_sr", seed=7), sim=sim,
+                  recorder=recorder)
     # 1% loss on every uplink of tor0: spraying keeps hitting the lossy
     # paths, so recovery (NACKs, RTO re-arms) dominates the event mix.
     loss_rng = net.rng.fork("bench-loss")
@@ -153,7 +156,7 @@ def _build_lossy(quick: bool, sim) -> Network:
     return net
 
 
-BUILDERS: dict[str, Callable[[bool, object], Network]] = {
+BUILDERS: dict[str, Callable[..., Network]] = {
     "incast": _build_incast,
     "alltoall": _build_alltoall,
     "lossy": _build_lossy,
@@ -161,15 +164,24 @@ BUILDERS: dict[str, Callable[[bool, object], Network]] = {
 
 
 def run_scenario(name: str, *, quick: bool = False,
-                 engine: str = "calendar") -> ScenarioResult:
+                 engine: str = "calendar",
+                 traced: bool = False) -> ScenarioResult:
     """Build and run one scenario, timing the event loop only.
 
     The timed region excludes topology construction and runs with the
     cyclic GC disabled (see the module docstring); the collector state is
     restored afterwards.
+
+    ``traced=True`` wires an all-category flight recorder (ring only, no
+    retained lists) through the run — the configuration every traced sim
+    pays for — so ``run_bench`` can price the tracing overhead.
     """
+    recorder = None
+    if traced:
+        from repro.obs.record import Recorder
+        recorder = Recorder()
     sim = HeapSimulator() if engine == "heap" else None
-    net = BUILDERS[name](quick, sim)
+    net = BUILDERS[name](quick, sim, recorder)
     gc.collect()
     gc_was_enabled = gc.isenabled()
     gc.disable()
@@ -194,7 +206,7 @@ def run_scenario(name: str, *, quick: bool = False,
 # Process isolation (via the experiment job runner)
 # ----------------------------------------------------------------------
 def _measure(name: str, *, quick: bool, engine: str,
-             fresh_process: bool) -> ScenarioResult:
+             fresh_process: bool, traced: bool = False) -> ScenarioResult:
     """One measurement as a job-runner job.
 
     Full mode uses a fresh **spawned** subprocess per measurement (the
@@ -208,8 +220,9 @@ def _measure(name: str, *, quick: bool, engine: str,
 
     spec = JobSpec(kind="bench", seed=0,
                    params={"scenario": name, "quick": quick,
-                           "engine": engine},
-                   label=f"bench/{name}/{engine}")
+                           "engine": engine, "traced": traced},
+                   label=f"bench/{name}/{engine}"
+                         + ("/traced" if traced else ""))
     runner = JobRunner(workers=1,
                        isolation="subprocess" if fresh_process
                        else "inproc",
@@ -222,10 +235,10 @@ def _measure(name: str, *, quick: bool, engine: str,
 
 
 def _best_of(name: str, *, quick: bool, engine: str, repeats: int,
-             fresh_process: bool) -> ScenarioResult:
+             fresh_process: bool, traced: bool = False) -> ScenarioResult:
     """Best-of-N wall time; asserts the runs executed identical events."""
     results = [_measure(name, quick=quick, engine=engine,
-                        fresh_process=fresh_process)
+                        fresh_process=fresh_process, traced=traced)
                for _ in range(max(1, repeats))]
     events = {r.events for r in results}
     if len(events) != 1:
@@ -285,6 +298,30 @@ def run_bench(*, quick: bool = False, compare: bool = True,
         echo(f"{'heap ref':<10} {heap.events:>9} events  "
              f"{heap.wall_s:>7.3f} s  {heap.events_per_sec:>9,} ev/s")
         echo(f"speedup vs seed heapq engine (alltoall): {speedup:.2f}x")
+
+    # Price the observability layer: one traced alltoall run against the
+    # untraced number above.  check_regression() only reads
+    # doc["scenarios"], so this extra key never trips the CI gate — it is
+    # a tracked trend line for the recorder's hot-path cost.
+    traced = _best_of("alltoall", quick=quick, engine="calendar",
+                      repeats=repeats, fresh_process=fresh_process,
+                      traced=True)
+    cal = doc["scenarios"]["alltoall"]
+    if traced.events != cal["events"]:
+        raise AssertionError(
+            "tracing changed the simulation: traced alltoall executed "
+            f"{traced.events} events vs {cal['events']} untraced — the "
+            "recorder must be observation-only")
+    overhead = (cal["events_per_sec"] / traced.events_per_sec
+                if traced.events_per_sec else 0.0)
+    doc["tracing"] = {"scenario": "alltoall",
+                      "events": traced.events,
+                      "wall_s": traced.wall_s,
+                      "events_per_sec": traced.events_per_sec,
+                      "overhead_ratio": round(overhead, 3)}
+    echo(f"{'traced':<10} {traced.events:>9} events  "
+         f"{traced.wall_s:>7.3f} s  {traced.events_per_sec:>9,} ev/s")
+    echo(f"full-tracing overhead (alltoall): {overhead:.2f}x untraced")
 
     if out:
         with open(out, "w") as fh:

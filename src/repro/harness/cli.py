@@ -10,6 +10,15 @@ Subcommands mirror the paper's experiments:
 * ``jobs``        — status of a sweep checkpoint file.
 * ``bench``       — engine perf benchmark (``--baseline`` gates CI).
 * ``pathmap``     — build and print a PathMap on a fat-tree (Fig. 3).
+* ``trace``       — traced lossy alltoall + NACK-decision causality audit
+  (``--perfetto`` exports a Chrome/Perfetto trace).
+* ``profile``     — wall-time histogram per event-handler type.
+
+Global output flags: ``--quiet`` suppresses progress/info chatter and
+``--json`` replaces the human-readable output with one machine-readable
+JSON document on stdout.  Both are accepted before the subcommand and
+(except ``collective``, whose ``--json PATH`` predates the global flag)
+after it.  All output goes through :class:`repro.obs.console.Console`.
 
 Installed as the ``repro`` console script, so ``repro sweep`` works
 without ``python -m``.
@@ -27,17 +36,46 @@ from repro.harness.motivation import motivation_config, run_motivation
 from repro.harness.network import SCHEMES, TRANSPORTS
 from repro.harness.report import format_table, percent, sparkline
 from repro.harness.sweep import DCQCN_SWEEP, run_fig5_sweep
+from repro.obs.console import Console
 from repro.themis.memory import (MemoryParams, TOFINO_SRAM_BYTES,
                                  memory_overhead)
+
+
+def _output_flag_parent(*, with_json: bool) -> argparse.ArgumentParser:
+    """Parent parser re-declaring the global output flags per subcommand.
+
+    ``default=SUPPRESS`` means a flag given *before* the subcommand is
+    not clobbered by the subparser's default — argparse parses the main
+    namespace first, then lets the subparser overwrite it.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--quiet", action="store_true",
+                        default=argparse.SUPPRESS,
+                        help="suppress progress/info output")
+    if with_json:
+        parent.add_argument("--json", dest="json_mode", action="store_true",
+                            default=argparse.SUPPRESS,
+                            help="machine-readable JSON on stdout")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Themis packet-spraying reproduction experiments")
+    parser.add_argument("--quiet", action="store_true", default=False,
+                        help="suppress progress/info output")
+    parser.add_argument("--json", dest="json_mode", action="store_true",
+                        default=False,
+                        help="machine-readable JSON on stdout")
+    out_flags = _output_flag_parent(with_json=True)
+    # ``collective --json PATH`` predates the global flag and keeps its
+    # meaning; use ``repro --json collective`` for machine output there.
+    quiet_only = _output_flag_parent(with_json=False)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    mem = sub.add_parser("memory", help="Table 1 / §4 memory budget")
+    mem = sub.add_parser("memory", parents=[out_flags],
+                         help="Table 1 / §4 memory budget")
     mem.add_argument("--n-paths", type=int, default=256)
     mem.add_argument("--bandwidth-gbps", type=float, default=400.0)
     mem.add_argument("--rtt-us", type=float, default=2.0)
@@ -46,13 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
     mem.add_argument("--mtu", type=int, default=1500)
     mem.add_argument("--factor", type=float, default=1.5)
 
-    mot = sub.add_parser("motivation", help="Fig. 1 motivation study")
+    mot = sub.add_parser("motivation", parents=[out_flags],
+                         help="Fig. 1 motivation study")
     mot.add_argument("--scheme", choices=SCHEMES, default="rps")
     mot.add_argument("--transport", choices=TRANSPORTS, default="nic_sr")
     mot.add_argument("--flow-bytes", type=int, default=4_000_000)
     mot.add_argument("--seed", type=int, default=1)
 
-    col = sub.add_parser("collective", help="one §5 collective run")
+    col = sub.add_parser("collective", parents=[quiet_only],
+                         help="one §5 collective run")
     col.add_argument("--collective", default="allreduce",
                      choices=("allreduce", "allgather", "reducescatter",
                               "alltoall", "hd_allreduce"))
@@ -63,7 +103,8 @@ def build_parser() -> argparse.ArgumentParser:
     col.add_argument("--json", metavar="PATH", default=None,
                      help="write the run summary as JSON")
 
-    swp = sub.add_parser("sweep", help="a full Fig. 5 panel")
+    swp = sub.add_parser("sweep", parents=[out_flags],
+                         help="a full Fig. 5 panel")
     swp.add_argument("--collective", default="allreduce",
                      choices=("allreduce", "alltoall"))
     swp.add_argument("--schemes", default="ecmp,ar,themis")
@@ -81,12 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--progress", action="store_true",
                      help="print per-job progress lines")
 
-    job = sub.add_parser("jobs", help="status of a job checkpoint file")
+    job = sub.add_parser("jobs", parents=[out_flags],
+                         help="status of a job checkpoint file")
     job.add_argument("--checkpoint", required=True, metavar="PATH",
                      help="JSONL checkpoint written by sweep --resume")
 
-    ben = sub.add_parser("bench", help="engine perf benchmark "
-                                       "(writes BENCH_engine.json)")
+    ben = sub.add_parser("bench", parents=[out_flags],
+                         help="engine perf benchmark "
+                              "(writes BENCH_engine.json)")
     ben.add_argument("--quick", action="store_true",
                      help="~8x smaller messages; CI smoke mode")
     ben.add_argument("--no-compare", action="store_true",
@@ -104,21 +147,58 @@ def build_parser() -> argparse.ArgumentParser:
                      help="allowed events/sec drop vs --baseline "
                           "(default 0.30 = 30%%)")
 
-    pmap = sub.add_parser("pathmap", help="Fig. 3 PathMap on a fat-tree")
+    pmap = sub.add_parser("pathmap", parents=[out_flags],
+                          help="Fig. 3 PathMap on a fat-tree")
     pmap.add_argument("--k", type=int, default=4)
     pmap.add_argument("--src", type=int, default=0)
     pmap.add_argument("--dst", type=int, default=15)
     pmap.add_argument("--sport", type=int, default=4242)
+
+    trc = sub.add_parser("trace", parents=[out_flags],
+                         help="traced lossy alltoall + NACK causality "
+                              "audit / Perfetto export")
+    trc.add_argument("report", nargs="?", default="nacks",
+                     choices=("nacks",),
+                     help="which report to print (default: nacks)")
+    trc.add_argument("--nodes", type=int, default=32,
+                     help="fabric size (even, >= 4; default 32)")
+    trc.add_argument("--loss", type=float, default=0.01,
+                     help="uplink loss probability (default 0.01)")
+    trc.add_argument("--seed", type=int, default=7)
+    trc.add_argument("--bytes", type=int, default=20_000,
+                     help="message size per alltoall pair")
+    trc.add_argument("--scheme", choices=SCHEMES, default="themis")
+    trc.add_argument("--limit", type=int, default=50,
+                     help="max decisions printed in the report")
+    trc.add_argument("--perfetto", metavar="PATH", default=None,
+                     help="write a Chrome/Perfetto trace JSON "
+                          "(open at ui.perfetto.dev)")
+    trc.add_argument("--dump", metavar="PATH", default=None,
+                     help="also write the flight ring as JSONL")
+
+    prof = sub.add_parser("profile", parents=[out_flags],
+                          help="wall-time histogram per event-handler "
+                               "type on a small traced scenario")
+    prof.add_argument("--nodes", type=int, default=8,
+                      help="fabric size (even, >= 4; default 8)")
+    prof.add_argument("--loss", type=float, default=0.01)
+    prof.add_argument("--seed", type=int, default=7)
+    prof.add_argument("--bytes", type=int, default=20_000)
+    prof.add_argument("--scheme", choices=SCHEMES, default="themis")
+    prof.add_argument("--top", type=int, default=None,
+                      help="only print the N most expensive handlers")
+    prof.add_argument("--out", metavar="PATH", default=None,
+                      help="write the profile report as JSON")
     return parser
 
 
-def cmd_memory(args: argparse.Namespace) -> int:
+def cmd_memory(args: argparse.Namespace, console: Console) -> int:
     params = MemoryParams(
         n_paths=args.n_paths, bandwidth_bps=args.bandwidth_gbps * 1e9,
         rtt_last_s=args.rtt_us * 1e-6, n_nic=args.n_nic, n_qp=args.n_qp,
         mtu_bytes=args.mtu, expansion_factor=args.factor)
     breakdown = memory_overhead(params)
-    print(format_table(["component", "value"], [
+    console.out(format_table(["component", "value"], [
         ("PathMap bytes", breakdown.pathmap_bytes),
         ("queue entries / QP", breakdown.queue_entries),
         ("bytes / QP", breakdown.per_qp_bytes),
@@ -127,56 +207,76 @@ def cmd_memory(args: argparse.Namespace) -> int:
         ("fraction of 64MB SRAM",
          percent(breakdown.sram_fraction(TOFINO_SRAM_BYTES))),
     ]))
+    console.result({
+        "pathmap_bytes": breakdown.pathmap_bytes,
+        "queue_entries_per_qp": breakdown.queue_entries,
+        "per_qp_bytes": breakdown.per_qp_bytes,
+        "total_bytes": breakdown.total_bytes,
+        "total_kb": round(breakdown.total_kb(), 1),
+        "sram_fraction": breakdown.sram_fraction(TOFINO_SRAM_BYTES),
+    })
     return 0
 
 
-def cmd_motivation(args: argparse.Namespace) -> int:
+def cmd_motivation(args: argparse.Namespace, console: Console) -> int:
     config = motivation_config(scheme=args.scheme,
                                transport=args.transport, seed=args.seed)
     result = run_motivation(config, flow_bytes=args.flow_bytes)
-    print(f"completed={result.completed}  "
-          f"duration={result.duration_ns / 1000:.0f} us")
-    print(f"spurious retx ratio: {percent(result.avg_retx_ratio)}")
-    print(f"avg rate: {result.avg_rate_gbps:.1f} Gbps "
-          f"({percent(result.avg_rate_fraction)} of line)")
+    console.out(f"completed={result.completed}  "
+                f"duration={result.duration_ns / 1000:.0f} us")
+    console.out(f"spurious retx ratio: {percent(result.avg_retx_ratio)}")
+    console.out(f"avg rate: {result.avg_rate_gbps:.1f} Gbps "
+                f"({percent(result.avg_rate_fraction)} of line)")
     if result.rate_series_gbps:
-        print("rate: " + sparkline([v for _, v in
-                                    result.rate_series_gbps]))
-    print(f"mean goodput: {result.mean_goodput_gbps:.2f} Gbps")
-    print(f"NACKs={result.nacks}  drops={result.drops}  "
-          f"blocked={result.summary['themis_blocked']}  "
-          f"compensated={result.summary['themis_compensated']}")
+        console.out("rate: " + sparkline([v for _, v in
+                                          result.rate_series_gbps]))
+    console.out(f"mean goodput: {result.mean_goodput_gbps:.2f} Gbps")
+    console.out(f"NACKs={result.nacks}  drops={result.drops}  "
+                f"blocked={result.summary['themis_blocked']}  "
+                f"compensated={result.summary['themis_compensated']}")
+    console.result({
+        "scheme": args.scheme, "transport": args.transport,
+        "completed": result.completed,
+        "duration_ns": result.duration_ns,
+        "avg_retx_ratio": result.avg_retx_ratio,
+        "avg_rate_gbps": result.avg_rate_gbps,
+        "mean_goodput_gbps": result.mean_goodput_gbps,
+        "nacks": result.nacks, "drops": result.drops,
+        "summary": result.summary,
+    })
     return 0 if result.completed else 1
 
 
-def cmd_collective(args: argparse.Namespace) -> int:
+def cmd_collective(args: argparse.Namespace, console: Console) -> int:
     scale = EvalScale.from_env()
     config = fig5_config(args.scheme, args.ti_us, args.td_us,
                          scale=scale, seed=args.seed)
     result = run_collective(config, args.collective, scale=scale)
-    print(f"{args.collective} / {args.scheme} "
-          f"(TI={args.ti_us:.0f} us, TD={args.td_us:.0f} us)")
-    print(f"tail completion: {result.tail_completion_ms:.3f} ms "
-          f"(completed={result.completed})")
+    console.out(f"{args.collective} / {args.scheme} "
+                f"(TI={args.ti_us:.0f} us, TD={args.td_us:.0f} us)")
+    console.out(f"tail completion: {result.tail_completion_ms:.3f} ms "
+                f"(completed={result.completed})")
     for key, value in result.summary.items():
-        print(f"  {key}: {value}")
+        console.out(f"  {key}: {value}")
+    doc = {
+        "collective": result.collective,
+        "scheme": result.scheme,
+        "ti_us": args.ti_us, "td_us": args.td_us,
+        "seed": args.seed,
+        "tail_completion_ms": result.tail_completion_ms,
+        "group_completion_ns": result.group_completion_ns,
+        "completed": result.completed,
+        "summary": result.summary,
+    }
     if args.json:
         from repro.harness.report import write_json
-        path = write_json(args.json, {
-            "collective": result.collective,
-            "scheme": result.scheme,
-            "ti_us": args.ti_us, "td_us": args.td_us,
-            "seed": args.seed,
-            "tail_completion_ms": result.tail_completion_ms,
-            "group_completion_ns": result.group_completion_ns,
-            "completed": result.completed,
-            "summary": result.summary,
-        })
-        print(f"wrote {path}")
+        path = write_json(args.json, doc)
+        console.out(f"wrote {path}")
+    console.result(doc)
     return 0 if result.completed else 1
 
 
-def cmd_sweep(args: argparse.Namespace) -> int:
+def cmd_sweep(args: argparse.Namespace, console: Console) -> int:
     from repro.harness.metrics import JobCounters
     schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
     counters = JobCounters()
@@ -184,26 +284,35 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                             seed=args.seed, workers=args.workers,
                             timeout_s=args.timeout, retries=args.retries,
                             checkpoint=args.resume, counters=counters,
-                            progress=print if args.progress else None)
+                            progress=console.progress_printer()
+                            if args.progress else None)
     rows = []
+    cells = {}
     for cond in DCQCN_SWEEP:
         row = [f"({cond[0]:.0f}, {cond[1]:.0f})"]
         row += [f"{result.runs[cond][s].tail_completion_ms:.3f}"
                 for s in schemes]
         rows.append(row)
-    print(format_table(["(TI, TD) us"] + [f"{s} ms" for s in schemes],
-                       rows))
+        cells[f"ti{cond[0]:.0f}_td{cond[1]:.0f}"] = {
+            s: result.runs[cond][s].tail_completion_ms for s in schemes}
+    console.out(format_table(["(TI, TD) us"] + [f"{s} ms" for s in schemes],
+                             rows))
+    doc = {"collective": args.collective, "schemes": list(schemes),
+           "seed": args.seed, "cells": cells,
+           "jobs": counters.summary()}
     if "ar" in schemes and "themis" in schemes:
         lo, hi = result.improvement_range("ar", "themis")
-        print(f"Themis vs AR: {percent(lo)} .. {percent(hi)} lower")
-    print(f"jobs: {counters}")
+        console.out(f"Themis vs AR: {percent(lo)} .. {percent(hi)} lower")
+        doc["themis_vs_ar"] = {"low": lo, "high": hi}
+    console.out(f"jobs: {counters}")
+    console.result(doc)
     return 0
 
 
-def cmd_jobs(args: argparse.Namespace) -> int:
+def cmd_jobs(args: argparse.Namespace, console: Console) -> int:
     from repro.harness.jobs import checkpoint_status
     status = checkpoint_status(args.checkpoint)
-    print(format_table(["field", "value"], [
+    console.out(format_table(["field", "value"], [
         ("checkpoint", status["path"]),
         ("records", status["records"]),
         ("jobs", status["jobs"]),
@@ -215,12 +324,14 @@ def cmd_jobs(args: argparse.Namespace) -> int:
         ("worker time (s)", status["elapsed_s"]),
     ]))
     for failure in status["failures"]:
-        print(f"FAILED {failure['spec_hash']} "
-              f"{failure['label'] or '(unlabelled)'}: {failure['error']}")
+        console.out(f"FAILED {failure['spec_hash']} "
+                    f"{failure['label'] or '(unlabelled)'}: "
+                    f"{failure['error']}")
+    console.result(status)
     return 0 if not status["failures"] else 1
 
 
-def cmd_pathmap(args: argparse.Namespace) -> int:
+def cmd_pathmap(args: argparse.Namespace, console: Console) -> int:
     from repro.harness.network import Network, NetworkConfig, TopologySpec
     from repro.net.packet import FlowKey
     from repro.themis.pathmap import build_pathmap, trace_path
@@ -235,20 +346,111 @@ def cmd_pathmap(args: argparse.Namespace) -> int:
              " -> ".join(trace_path(net.topology, flow,
                                     args.sport ^ d))]
             for r, d in enumerate(deltas)]
-    print(format_table(["PSN mod N", "delta", "path"], rows))
+    console.out(format_table(["PSN mod N", "delta", "path"], rows))
+    console.result({"k": args.k, "src": args.src, "dst": args.dst,
+                    "sport": args.sport, "n_paths": n,
+                    "deltas": list(deltas)})
     return 0
 
 
-def cmd_bench(args: argparse.Namespace) -> int:
+def cmd_bench(args: argparse.Namespace, console: Console) -> int:
     from repro.harness.bench import check_regression, run_bench
     doc = run_bench(quick=args.quick, compare=not args.no_compare,
-                    repeats=args.repeats, out=args.out or None)
+                    repeats=args.repeats, out=args.out or None,
+                    echo=console.info)
+    rc = 0
     if args.baseline:
         regressions = check_regression(
-            doc, args.baseline, max_regression=args.max_regression)
+            doc, args.baseline, max_regression=args.max_regression,
+            echo=console.info)
         for line in regressions:
-            print(f"REGRESSION: {line}")
-        return 1 if regressions else 0
+            console.out(f"REGRESSION: {line}")
+        doc = dict(doc)
+        doc["regressions"] = regressions
+        rc = 1 if regressions else 0
+    console.result(doc)
+    return rc
+
+
+def cmd_trace(args: argparse.Namespace, console: Console) -> int:
+    from repro.harness.tracing import run_traced_alltoall
+    from repro.obs.nacks import build_audit, format_report
+    from repro.obs.record import NACK
+
+    console.info(f"running traced {args.nodes}-node alltoall "
+                 f"(scheme={args.scheme}, loss={args.loss:.3f}, "
+                 f"seed={args.seed}) ...")
+    net, recorder = run_traced_alltoall(
+        nodes=args.nodes, loss=args.loss, seed=args.seed,
+        message_bytes=args.bytes, scheme=args.scheme,
+        retain_all=args.perfetto is not None)
+    console.info(f"{recorder.total_events()} trace events recorded, "
+                 f"{net.sim.executed} sim events executed")
+    audit = build_audit(recorder.records(NACK))
+    console.out(format_report(audit, limit=args.limit))
+    if args.perfetto:
+        from repro.obs.perfetto import write_chrome_trace
+        # All categories were retained, so export the full run, not just
+        # the last-N flight ring.
+        events: list = []
+        for cat in sorted(recorder.retain):
+            events.extend(recorder.records(cat))
+        events.sort(key=lambda r: r[0])
+        write_chrome_trace(events,
+                           args.perfetto,
+                           label=f"trace-alltoall-{args.nodes}")
+        console.out(f"wrote Perfetto trace {args.perfetto} "
+                    "(open at https://ui.perfetto.dev)")
+    if args.dump:
+        path = recorder.dump_flight(args.dump, reason="cli")
+        console.out(f"wrote flight dump {path}")
+    summary = audit.summary()
+    console.result({
+        "report": "nacks",
+        "params": {"nodes": args.nodes, "loss": args.loss,
+                   "seed": args.seed, "bytes": args.bytes,
+                   "scheme": args.scheme},
+        "metrics": net.metrics.summary(),
+        "audit": summary,
+    })
+    return 0 if summary["unexplained"] == 0 else 1
+
+
+def cmd_profile(args: argparse.Namespace, console: Console) -> int:
+    from repro.harness.tracing import TRACE_DEADLINE_NS, \
+        build_traced_alltoall
+    from repro.obs.profile import Profiler
+    from repro.obs.record import Recorder
+
+    console.info(f"profiling {args.nodes}-node alltoall "
+                 f"(scheme={args.scheme}, loss={args.loss:.3f}) ...")
+    # Empty-category recorder: the wiring paths stay exercised but no
+    # emits fire, so the histogram reflects the engine, not the tracer.
+    net, _ = build_traced_alltoall(
+        nodes=args.nodes, loss=args.loss, seed=args.seed,
+        message_bytes=args.bytes, scheme=args.scheme,
+        recorder=Recorder(categories=()))
+    with Profiler(net.sim) as prof:
+        net.run(until_ns=TRACE_DEADLINE_NS)
+    net.stop()
+    report = prof.report()
+    table = prof.format_table()
+    if args.top is not None:
+        lines = table.splitlines()
+        if len(lines) > args.top + 2:  # header + N rows + total line
+            table = "\n".join(lines[:1 + args.top] + [lines[-1]])
+        report = dict(report)
+        report["handlers"] = report["handlers"][:args.top]
+    console.out(table)
+    doc = {"params": {"nodes": args.nodes, "loss": args.loss,
+                      "seed": args.seed, "bytes": args.bytes,
+                      "scheme": args.scheme},
+           "sim_events": net.sim.executed, **report}
+    if args.out:
+        from repro.harness.report import write_json
+        path = write_json(args.out, doc)
+        console.out(f"wrote {path}")
+    console.result(doc)
     return 0
 
 
@@ -260,12 +462,16 @@ COMMANDS = {
     "sweep": cmd_sweep,
     "jobs": cmd_jobs,
     "pathmap": cmd_pathmap,
+    "trace": cmd_trace,
+    "profile": cmd_profile,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    console = Console(quiet=getattr(args, "quiet", False),
+                      json_mode=getattr(args, "json_mode", False))
+    return COMMANDS[args.command](args, console)
 
 
 if __name__ == "__main__":  # pragma: no cover

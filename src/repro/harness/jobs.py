@@ -174,7 +174,8 @@ def _exec_bench(params: dict, seed: int) -> dict:
 
     from repro.harness.bench import run_scenario
     result = run_scenario(params["scenario"], quick=params["quick"],
-                          engine=params["engine"])
+                          engine=params["engine"],
+                          traced=params.get("traced", False))
     return asdict(result)
 
 
@@ -195,15 +196,34 @@ def execute_spec(spec: JobSpec) -> dict:
     return _json_roundtrip(executor(spec.params, spec.seed))
 
 
+def _dump_flight_on_crash(reason: str) -> Optional[str]:
+    """Best-effort flight-recorder dump for a crashing job.
+
+    If the job ran a traced simulation, its recorder registered itself as
+    the active one; dumping its ring here is the only chance to preserve
+    the final events before the worker process dies.  Never raises — the
+    original job error must win.
+    """
+    try:
+        from repro.obs.record import dump_active_flight
+        path = dump_active_flight(reason)
+        return None if path is None else str(path)
+    except Exception:
+        return None
+
+
 def _subprocess_entry(conn, spec_doc: dict) -> None:
     """Worker-side entry point: run the job, ship payload or error."""
     try:
         payload = execute_spec(JobSpec.from_dict(spec_doc))
         conn.send({"ok": True, "result": payload})
     except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+        error = f"{type(exc).__name__}: {exc}"
+        dump = _dump_flight_on_crash("job-crash")
+        if dump is not None:
+            error += f" [flight recorder: {dump}]"
         try:
-            conn.send({"ok": False,
-                       "error": f"{type(exc).__name__}: {exc}"})
+            conn.send({"ok": False, "error": error})
         except Exception:
             pass
     finally:
@@ -450,9 +470,13 @@ class JobRunner:
                 if attempt.attempts <= self.retries and self._retryable(exc):
                     self.counters.retries += 1
                     continue
+                error = f"{type(exc).__name__}: {exc}"
+                dump = _dump_flight_on_crash("job-failure")
+                if dump is not None:
+                    error += f" [flight recorder: {dump}]"
                 return JobOutcome(
                     spec=attempt.spec, status="failed",
-                    error=f"{type(exc).__name__}: {exc}",
+                    error=error,
                     attempts=attempt.attempts,
                     elapsed_s=time.perf_counter() - start)
             return JobOutcome(spec=attempt.spec, status="done",

@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.packet import FlowKey, Packet
 from repro.sim.engine import US, Simulator
-from repro.sim.trace import RateMeter, TimeSeries, WindowedCounter
+from repro.obs.timeseries import RateMeter, TimeSeries, WindowedCounter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.port import Port
@@ -149,6 +149,10 @@ class Metrics:
         # packet drop so the sender can schedule a clean retransmission.
         self.drop_listeners: list[Callable[[Packet], None]] = []
 
+        # Observability recorder of the run, attached by Network when
+        # tracing is on; summary() then surfaces its per-event counts.
+        self.recorder = None
+
     # ------------------------------------------------------------------
     # Flow registration
     # ------------------------------------------------------------------
@@ -234,7 +238,7 @@ class Metrics:
 
     def summary(self) -> dict:
         """Flat dict of headline numbers (handy for reports/tests)."""
-        return {
+        doc = {
             "data_packets_sent": self.data_packets_sent,
             "retransmissions": self.retransmissions,
             "spurious_ratio": round(self.spurious_ratio, 4),
@@ -246,3 +250,9 @@ class Metrics:
             "themis_compensated": self.themis.nacks_compensated,
             "mean_goodput_gbps": round(self.mean_goodput_gbps(), 3),
         }
+        # Telemetry keys appear only when a run traced, so untraced
+        # summaries (golden comparisons) are byte-identical to before.
+        if self.recorder is not None:
+            doc["trace_events"] = self.recorder.total_events()
+            doc["trace_counts"] = self.recorder.counts_summary()
+        return doc

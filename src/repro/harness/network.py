@@ -29,6 +29,8 @@ from repro.conweave.dest import InOrderDest
 from repro.conweave.source import RerouteSource
 from repro.harness.metrics import Metrics
 from repro.net.packet import FlowKey, Packet
+from repro.obs import record as obs_record
+from repro.obs.record import Recorder
 from repro.net.topology import Topology, fat_tree, leaf_spine
 from repro.rnic.config import RnicConfig
 from repro.rnic.nic import Rnic
@@ -107,12 +109,16 @@ class Network:
     """A wired-up fabric ready to carry workloads."""
 
     def __init__(self, config: NetworkConfig, *,
-                 sim: Optional[Simulator] = None) -> None:
+                 sim: Optional[Simulator] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         self.config = config
         #: Injectable engine: the perf benchmark and the golden
         #: determinism test run the same fabric on ``HeapSimulator``
         #: (the reference engine) to A/B against the calendar queue.
         self.sim = sim if sim is not None else Simulator()
+        #: Observability recorder (repro.obs); channels are threaded to
+        #: every component in _wire_recorder().  None = tracing off.
+        self.recorder = recorder
         self.rng = SimRng(config.seed)
         self.metrics = Metrics(self.sim)
         self.topology = self._build_topology()
@@ -131,6 +137,8 @@ class Network:
                 nic.nack_filter_paths = (
                     lambda flow: self.topology.equal_paths(flow.src,
                                                            flow.dst))
+        if recorder is not None:
+            self._wire_recorder(recorder)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -178,8 +186,12 @@ class Network:
         def factory(flow: FlowKey) -> CongestionControl:
             if self.config.dcqcn is None or self.config.transport == "ideal":
                 return FixedRate(self.sim, line_rate_bps)
-            return Dcqcn(self.sim, line_rate_bps, self.config.dcqcn,
-                         rate_trace=self.metrics.rate_trace_for(flow))
+            cc = Dcqcn(self.sim, line_rate_bps, self.config.dcqcn,
+                       rate_trace=self.metrics.rate_trace_for(flow))
+            if self.recorder is not None:
+                cc.rec = self.recorder.channel(obs_record.CC)
+                cc.rec_loc = f"cc:{flow}"
+            return cc
         return factory
 
     def _build_nics(self) -> list[Rnic]:
@@ -310,6 +322,43 @@ class Network:
                     mw.disable()
 
     # ------------------------------------------------------------------
+    # Observability wiring
+    # ------------------------------------------------------------------
+    def _wire_recorder(self, rec: Recorder) -> None:
+        """Hand every component its pre-resolved category channel.
+
+        A channel is ``None`` when the category is disabled, so hot
+        paths pay a single attribute test per packet.  Runs after all
+        construction: switches, ports, PFC, and Themis middleware exist;
+        QPs and CC instances are created lazily and resolve their
+        channels from ``nic.recorder`` / the cc factory at that point.
+        """
+        pkt = rec.channel(obs_record.PACKET)
+        queue = rec.channel(obs_record.QUEUE)
+        ecn = rec.channel(obs_record.ECN)
+        drop = rec.channel(obs_record.DROP)
+        nack = rec.channel(obs_record.NACK)
+        pfc = rec.channel(obs_record.PFC)
+        for switch in self.topology.switches:
+            switch.rec = pkt
+            switch._policy.rec_ecn = ecn
+            if switch.pfc is not None:
+                switch.pfc.rec = pfc
+            for port in switch.ports:
+                port._rec_q = queue
+                port._rec_drop = drop
+            for mw in switch.middleware:
+                if isinstance(mw, ThemisDest):
+                    mw.rec = nack
+        for nic in self.nics:
+            nic.recorder = rec
+            for port in nic.ports:
+                port._rec_q = queue
+                port._rec_drop = drop
+        self.metrics.recorder = rec
+        obs_record.set_active(rec)
+
+    # ------------------------------------------------------------------
     # Ideal-transport oracle
     # ------------------------------------------------------------------
     def _oracle_drop(self, packet: Packet) -> None:
@@ -342,8 +391,21 @@ class Network:
         return flow
 
     def run(self, until_ns: Optional[int] = None) -> int:
-        """Run to quiescence (or ``until_ns``); returns events executed."""
-        return self.sim.run(until=until_ns)
+        """Run to quiescence (or ``until_ns``); returns events executed.
+
+        When a recorder is attached and the simulation raises, the
+        flight-recorder ring is dumped (best-effort) before the error
+        propagates, so post-mortems always have the last N events.
+        """
+        try:
+            return self.sim.run(until=until_ns)
+        except BaseException:
+            if self.recorder is not None:
+                try:
+                    self.recorder.dump_flight(reason="sim-exception")
+                except Exception:  # pragma: no cover - dump best-effort
+                    pass
+            raise
 
     def stop(self) -> None:
         """Cancel all NIC timers so the event queue can drain."""

@@ -1,0 +1,88 @@
+"""Traced reference scenarios for ``repro trace`` and ``repro profile``.
+
+One canonical workload — a lossy alltoall on a sprayed leaf-spine fabric
+— sized by node count, with a :class:`repro.obs.record.Recorder` wired
+through the whole stack.  The lossy uplinks plus per-packet spraying
+produce the full NACK life cycle (skew-blocked, compensated, cancelled),
+which is what the causality audit exists to explain.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.harness.network import Network, NetworkConfig, TopologySpec
+from repro.obs.record import ALL_CATEGORIES, NACK, Recorder
+from repro.sim.engine import MS, US
+from repro.switch.switch import Switch
+
+#: Simulated-time deadline: a wedged run must not hang the CLI.
+TRACE_DEADLINE_NS = 800 * MS
+
+
+def _stop_when_done(net: Network, total: int) -> Callable[[], None]:
+    state = {"left": total}
+
+    def one_done() -> None:
+        state["left"] -= 1
+        if state["left"] == 0:
+            net.trace_done_ns = net.now_ns
+            net.stop()
+
+    return one_done
+
+
+def build_traced_alltoall(*, nodes: int = 32, loss: float = 0.01,
+                          seed: int = 7, message_bytes: int = 20_000,
+                          scheme: str = "themis",
+                          recorder: Optional[Recorder] = None,
+                          ) -> tuple[Network, Recorder]:
+    """A lossy alltoall fabric with a recorder threaded through it.
+
+    ``nodes`` must be even and >= 4 (two NICs per ToR).  The default
+    recorder keeps every category in the flight ring and retains the
+    NACK category in full for the causality audit; pass your own to
+    retain more (e.g. everything, for a Perfetto export).
+    """
+    if nodes < 4 or nodes % 2:
+        raise ValueError("nodes must be even and >= 4")
+    if recorder is None:
+        recorder = Recorder(retain={NACK})
+    num_tors = nodes // 2
+    topo = TopologySpec(kind="leaf_spine", num_tors=num_tors,
+                        num_spines=max(2, num_tors // 2),
+                        nics_per_tor=2, link_bandwidth_bps=100e9,
+                        link_delay_ns=US)
+    net = Network(NetworkConfig(topology=topo, scheme=scheme,
+                                transport="nic_sr", seed=seed),
+                  recorder=recorder)
+    if loss > 0.0:
+        loss_rng = net.rng.fork("trace-loss")
+        for tor in net.topology.tors:
+            for port in tor.ports:
+                if isinstance(port.peer, Switch):
+                    port.set_loss(loss, loss_rng)
+    done = _stop_when_done(net, nodes * (nodes - 1))
+    for src in range(nodes):
+        for dst in range(nodes):
+            if src != dst:
+                net.post_message(src, dst, message_bytes,
+                                 on_receiver_done=done)
+    return net, recorder
+
+
+def run_traced_alltoall(*, nodes: int = 32, loss: float = 0.01,
+                        seed: int = 7, message_bytes: int = 20_000,
+                        scheme: str = "themis",
+                        retain_all: bool = False,
+                        ring_capacity: int = 4096,
+                        ) -> tuple[Network, Recorder]:
+    """Build and run the traced alltoall; returns (network, recorder)."""
+    retain = set(ALL_CATEGORIES) if retain_all else {NACK}
+    recorder = Recorder(ring_capacity=ring_capacity, retain=retain)
+    net, recorder = build_traced_alltoall(
+        nodes=nodes, loss=loss, seed=seed, message_bytes=message_bytes,
+        scheme=scheme, recorder=recorder)
+    net.run(until_ns=TRACE_DEADLINE_NS)
+    net.stop()
+    return net, recorder

@@ -66,7 +66,7 @@ class Port:
         "_data", "queued_bytes",
         "_free_at", "_pump_armed", "_data_paused", "policy", "loss_rate",
         "up", "_loss_rng", "bytes_sent", "packets_sent", "packets_dropped",
-        "busy_ns", "on_drop",
+        "busy_ns", "on_drop", "_rec_q", "_rec_drop",
     )
 
     def __init__(self, sim: Simulator, owner: "Device", *,
@@ -109,6 +109,11 @@ class Port:
         self.busy_ns = 0
         self.on_drop: Optional[Callable[[Packet, "Port"], None]] = None
 
+        # Observability channels (repro.obs): None when the category is
+        # disabled, so the hot path pays one attribute test per packet.
+        self._rec_q = None
+        self._rec_drop = None
+
         owner.attach_port(self)
         self.name = f"{owner.name}.p{self.index}"
 
@@ -138,6 +143,10 @@ class Port:
             self._data.append(packet)
             self.queued_bytes += packet.wire_bytes
             self.policy.on_enqueue(self, packet)
+            if self._rec_q is not None:
+                self._rec_q.queue_sample(self.sim.now, self.name, "enq",
+                                         self.queued_bytes,
+                                         len(self._data))
         if not self._pump_armed:
             now = self.sim.now
             if now >= self._free_at:
@@ -168,6 +177,9 @@ class Port:
             wire = packet.wire_bytes
             self.queued_bytes -= wire
             self.policy.on_dequeue(self, packet)
+            if self._rec_q is not None:
+                self._rec_q.queue_sample(self.sim.now, self.name, "deq",
+                                         self.queued_bytes, len(data))
         else:
             return
         tx_ns = int(wire * self._ns_per_byte)
@@ -183,7 +195,7 @@ class Port:
                 and self._loss_rng.random() < self.loss_rate):
             lost = True
         if lost:
-            self._drop(packet)
+            self._drop(packet, "link_down" if not self.up else "loss")
         else:
             self.bytes_sent += wire
             self.packets_sent += 1
@@ -196,8 +208,10 @@ class Port:
     def _deliver(self, packet: Packet) -> None:
         self._peer_recv(packet, self)
 
-    def _drop(self, packet: Packet) -> None:
+    def _drop(self, packet: Packet, reason: str = "admission") -> None:
         self.packets_dropped += 1
+        if self._rec_drop is not None:
+            self._rec_drop.drop(self.sim.now, self.name, packet, reason)
         if self.on_drop is not None:
             self.on_drop(packet, self)
 

@@ -1,0 +1,211 @@
+"""NACK-decision causality audit.
+
+Themis-D's correctness story is a chain of per-NACK decisions: a receiver
+emits a NACK for an ePSN, the destination ToR recovers the trigger PSN
+from the ring queue and applies Eq. 3, and a blocked NACK is either
+vindicated later (compensation: a same-path PSN overtakes the blocked
+ePSN) or dismissed (the "lost" packet shows up).  The audit trail stitches
+the :data:`repro.obs.record.NACK`-category events back into one
+:class:`NackDecision` per classified NACK so that ``repro trace nacks``
+can explain every decision end to end.
+
+Event vocabulary (see :class:`repro.obs.record.Recorder`):
+
+``nack_emit``         receiver generated a NACK (ePSN + observed trigger)
+``nack_classify``     Themis-D verdict with tPSN, path indices, ring state
+``nack_compensate``   blocked ePSN proven lost; switch crafted the NACK
+``nack_cancel``       armed compensation dismissed (BePSN arrived)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.obs.record import NACK
+
+
+@dataclass
+class NackDecision:
+    """One classified NACK with its full causal context."""
+
+    t: int                      # classification time (ns)
+    loc: str                    # ToR that classified it
+    flow: str                   # data-direction flow key (str form)
+    epsn: int
+    verdict: str                # forwarded | blocked | no_state | no_tpsn
+    tpsn: Optional[int] = None
+    n_paths: int = 0
+    epsn_path: Optional[int] = None
+    tpsn_path: Optional[int] = None
+    ring_len: int = 0
+    armed: bool = False
+    guard: Optional[str] = None          # why arming was skipped
+    # Receiver-side origin (nearest preceding nack_emit for this ePSN)
+    emit_t: Optional[int] = None
+    emit_trigger_psn: Optional[int] = None
+    # Outcome of an armed blocked NACK
+    outcome: Optional[str] = None        # compensated | cancelled | open
+    outcome_t: Optional[int] = None
+    prove_psn: Optional[int] = None
+
+    @property
+    def explained(self) -> bool:
+        """Does the record carry enough context to justify the verdict?
+
+        * forwarded/blocked need the trigger PSN and both path indices;
+        * no_state / no_tpsn are self-explaining (the missing state *is*
+          the explanation);
+        * a blocked NACK that armed compensation must have a resolved or
+          explicitly open outcome.
+        """
+        if self.verdict in ("no_state", "no_tpsn"):
+            return True
+        if self.tpsn is None or self.n_paths <= 0:
+            return False
+        if self.epsn_path is None or self.tpsn_path is None:
+            return False
+        if self.verdict == "blocked" and self.armed:
+            return self.outcome is not None
+        return True
+
+    def timeline(self) -> list[str]:
+        """Human-readable event-by-event story of this decision."""
+        lines = []
+        if self.emit_t is not None:
+            trig = (f" on seeing PSN {self.emit_trigger_psn}"
+                    if self.emit_trigger_psn is not None else "")
+            lines.append(f"{self.emit_t:>12} ns  receiver NACKed "
+                         f"ePSN {self.epsn}{trig}")
+        desc = f"{self.t:>12} ns  {self.loc} verdict={self.verdict}"
+        if self.tpsn is not None:
+            desc += (f" tPSN={self.tpsn}"
+                     f" paths: tPSN->{self.tpsn_path}"
+                     f" ePSN->{self.epsn_path} (N={self.n_paths},"
+                     f" ring={self.ring_len})")
+        lines.append(desc)
+        if self.verdict == "blocked":
+            if self.guard:
+                lines.append(f"{'':>15} compensation not armed"
+                             f" ({self.guard})")
+            elif self.armed and self.outcome == "compensated":
+                lines.append(f"{self.outcome_t:>12} ns  compensated:"
+                             f" PSN {self.prove_psn} proved BePSN"
+                             f" {self.epsn} lost; NACK regenerated")
+            elif self.armed and self.outcome == "cancelled":
+                lines.append(f"{self.outcome_t:>12} ns  cancelled:"
+                             f" BePSN {self.epsn} arrived after all")
+            elif self.armed:
+                lines.append(f"{'':>15} compensation still armed at"
+                             " end of trace")
+        return lines
+
+
+@dataclass
+class NackAudit:
+    """All decisions of one run plus roll-up statistics."""
+
+    decisions: list[NackDecision] = field(default_factory=list)
+
+    def by_verdict(self, verdict: str) -> list[NackDecision]:
+        return [d for d in self.decisions if d.verdict == verdict]
+
+    def unexplained(self) -> list[NackDecision]:
+        return [d for d in self.decisions if not d.explained]
+
+    def summary(self) -> dict:
+        blocked = self.by_verdict("blocked")
+        return {
+            "decisions": len(self.decisions),
+            "forwarded": len(self.by_verdict("forwarded")),
+            "blocked": len(blocked),
+            "no_state": len(self.by_verdict("no_state")),
+            "no_tpsn": len(self.by_verdict("no_tpsn")),
+            "compensated": sum(1 for d in blocked
+                               if d.outcome == "compensated"),
+            "cancelled": sum(1 for d in blocked
+                             if d.outcome == "cancelled"),
+            "armed_open": sum(1 for d in blocked
+                              if d.armed and d.outcome == "open"),
+            "unexplained": len(self.unexplained()),
+        }
+
+
+def build_audit(records: Iterable[tuple]) -> NackAudit:
+    """Assemble the audit trail from NACK-category event tuples.
+
+    ``records`` are ``(t, cat, name, loc, data)`` tuples as stored by the
+    :class:`Recorder`; non-NACK categories are ignored so the caller can
+    pass a mixed stream (e.g. the flight ring).
+    """
+    events = sorted((r for r in records if r[1] == NACK),
+                    key=lambda r: r[0])
+    # Receiver emissions indexed by (flow, epsn): list of (t, trigger).
+    emits: dict[tuple, list] = {}
+    for t, _cat, name, _loc, data in events:
+        if name == "nack_emit":
+            emits.setdefault((data["flow"], data["epsn"]), []).append(
+                (t, data.get("trigger_psn")))
+
+    audit = NackAudit()
+    # Armed decisions waiting for an outcome, keyed by (flow, bepsn).
+    armed: dict[tuple, NackDecision] = {}
+    for t, _cat, name, loc, data in events:
+        if name == "nack_classify":
+            decision = NackDecision(
+                t=t, loc=loc, flow=data["flow"], epsn=data["epsn"],
+                verdict=data["verdict"], tpsn=data.get("tpsn"),
+                n_paths=data.get("n_paths", 0),
+                epsn_path=data.get("epsn_path"),
+                tpsn_path=data.get("tpsn_path"),
+                ring_len=data.get("ring_len", 0),
+                armed=data.get("armed", False),
+                guard=data.get("guard"))
+            for et, trigger in reversed(
+                    emits.get((decision.flow, decision.epsn), ())):
+                if et <= t:
+                    decision.emit_t = et
+                    decision.emit_trigger_psn = trigger
+                    break
+            if decision.verdict == "blocked" and decision.armed:
+                decision.outcome = "open"
+                # A re-armed (flow, epsn) supersedes the older record.
+                armed[(decision.flow, decision.epsn)] = decision
+            audit.decisions.append(decision)
+        elif name == "nack_compensate":
+            decision = armed.pop((data["flow"], data["bepsn"]), None)
+            if decision is not None:
+                decision.outcome = "compensated"
+                decision.outcome_t = t
+                decision.prove_psn = data.get("prove_psn")
+        elif name == "nack_cancel":
+            decision = armed.pop((data["flow"], data["bepsn"]), None)
+            if decision is not None:
+                decision.outcome = "cancelled"
+                decision.outcome_t = t
+    return audit
+
+
+def format_report(audit: NackAudit, *, limit: int = 50,
+                  verdicts: Optional[set[str]] = None) -> str:
+    """Render the audit as a human-readable report."""
+    lines = []
+    summary = audit.summary()
+    lines.append("NACK causality audit")
+    lines.append("  " + "  ".join(f"{k}={v}" for k, v in summary.items()))
+    shown = 0
+    for decision in audit.decisions:
+        if verdicts is not None and decision.verdict not in verdicts:
+            continue
+        if shown >= limit:
+            lines.append(f"  ... ({len(audit.decisions) - shown} more"
+                         " decisions truncated)")
+            break
+        shown += 1
+        lines.append(f"- flow {decision.flow} ePSN {decision.epsn}:")
+        for entry in decision.timeline():
+            lines.append("    " + entry)
+    if summary["unexplained"]:
+        lines.append(f"WARNING: {summary['unexplained']} decisions lack "
+                     "full causal context")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""Perfetto / Chrome ``trace_event`` JSON export.
+
+Converts recorder event tuples into the Trace Event Format that both
+``chrome://tracing`` and https://ui.perfetto.dev load natively: one
+process ("repro-sim"), one track (thread) per emitting location (switch,
+port, QP, CC instance), instant events for discrete occurrences, and
+counter tracks for queue depth and congestion-control rate.
+
+Reference: the "Trace Event Format" document (Google, JSON array format).
+Simulation nanoseconds are exported as microsecond ``ts`` values (the
+format's native unit) with fractional precision preserved.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.obs.record import CC, QUEUE
+
+#: Synthetic process id for the whole simulation.
+PID = 1
+
+
+def export_chrome_trace(records: Iterable[tuple], *,
+                        label: str = "repro-sim") -> dict:
+    """Build a Chrome trace_event document from event tuples.
+
+    ``records`` are ``(t, cat, name, loc, data)`` tuples.  Returns the
+    JSON-serialisable document; use :func:`write_chrome_trace` to persist.
+    """
+    events: list[dict] = []
+    tids: dict[str, int] = {}
+
+    events.append({"name": "process_name", "ph": "M", "pid": PID,
+                   "tid": 0, "args": {"name": label}})
+
+    def tid_for(loc: str) -> int:
+        tid = tids.get(loc)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[loc] = tid
+            events.append({"name": "thread_name", "ph": "M", "pid": PID,
+                           "tid": tid, "args": {"name": loc or "?"}})
+        return tid
+
+    for t, cat, name, loc, data in records:
+        tid = tid_for(loc)
+        ts = t / 1000.0  # ns -> µs
+        if cat == QUEUE:
+            events.append({"name": f"queue_depth {loc}", "ph": "C",
+                           "cat": cat, "pid": PID, "tid": tid, "ts": ts,
+                           "args": {"bytes": data["queued_bytes"],
+                                    "packets": data["backlog_pkts"]}})
+        elif cat == CC:
+            events.append({"name": f"cc_rate {loc}", "ph": "C",
+                           "cat": cat, "pid": PID, "tid": tid, "ts": ts,
+                           "args": {"gbps": data["rate_bps"] / 1e9}})
+        else:
+            events.append({"name": name, "ph": "i", "cat": cat,
+                           "pid": PID, "tid": tid, "ts": ts, "s": "t",
+                           "args": dict(data)})
+    return {"traceEvents": events, "displayTimeUnit": "ns",
+            "otherData": {"generator": "repro.obs.perfetto"}}
+
+
+def write_chrome_trace(records: Iterable[tuple], path: str | Path, *,
+                       label: str = "repro-sim") -> Path:
+    """Export and write the trace; returns the path written."""
+    doc = export_chrome_trace(records, label=label)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Schema-check a trace document; returns a list of problems.
+
+    An empty list means the document is loadable by Perfetto/Chrome.
+    Checks the subset of the Trace Event Format this exporter uses.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("i", "C", "M"):
+            errors.append(f"{where}: unexpected ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"{where}: missing name")
+        if not isinstance(ev.get("pid"), int) \
+                or not isinstance(ev.get("tid"), int):
+            errors.append(f"{where}: pid/tid must be integers")
+        if ph == "M":
+            args = ev.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                errors.append(f"{where}: metadata event needs args.name")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: ts missing or negative")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            errors.append(f"{where}: instant event needs scope s")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            errors.append(f"{where}: counter event needs numeric args")
+    return errors
+
+
+def track_count(doc: dict) -> int:
+    """Number of named tracks (threads) in an exported document."""
+    return sum(1 for ev in doc.get("traceEvents", ())
+               if ev.get("ph") == "M" and ev.get("name") == "thread_name")

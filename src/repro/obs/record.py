@@ -1,0 +1,315 @@
+"""Structured trace recorder and flight-recorder ring buffer.
+
+The :class:`Recorder` is the hub of the observability layer.  Components
+hold a *channel* — either the recorder itself (category enabled) or
+``None`` (disabled) — so the instrumentation cost on a cold category is a
+single attribute load and branch::
+
+    rec = recorder.channel(PACKET) if recorder else None
+    ...
+    if rec is not None:
+        rec.packet_hop(now, name, packet)
+
+Every emitted event additionally lands in a bounded **flight ring**
+(``collections.deque`` with ``maxlen``) regardless of retention settings,
+so the last N events are always available for a post-mortem dump when a
+simulation raises, an invariant fails, or a job worker crashes.
+
+Events are plain tuples ``(time_ns, category, name, location, data)``
+where ``data`` is a dict of scalars only — never a live :class:`Packet`
+reference (packets are pooled and recycled; retaining one would alias a
+future packet).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import weakref
+from collections import deque
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.packet import FlowKey, Packet
+
+# ----------------------------------------------------------------------
+# Event categories
+# ----------------------------------------------------------------------
+PACKET = "packet"    # per-hop packet observations at switches
+QUEUE = "queue"      # port enqueue/dequeue + queue depth samples
+ECN = "ecn"          # ECN CE marks applied by switch queue policies
+DROP = "drop"        # tail/queue-policy drops at ports
+NACK = "nack"        # NACK emit / Themis-D classify / compensate lifecycle
+PFC = "pfc"          # PFC pause / resume frames
+QP = "qp"            # sender QP state changes (rewind, rto, complete)
+CC = "cc"            # congestion-control rate updates
+
+ALL_CATEGORIES: tuple[str, ...] = (PACKET, QUEUE, ECN, DROP, NACK, PFC, QP, CC)
+
+#: Default flight-ring capacity: enough to reconstruct the last few
+#: microseconds of a busy fabric without holding the whole run in memory.
+DEFAULT_RING_CAPACITY = 4096
+
+#: Environment variable overriding where crash dumps are written.
+DUMP_DIR_ENV = "REPRO_OBS_DIR"
+DEFAULT_DUMP_DIR = "obs-dumps"
+
+
+class InvariantError(AssertionError):
+    """An internal consistency check failed (flight ring was dumped)."""
+
+
+class Recorder:
+    """Typed trace-event recorder with per-category enable flags.
+
+    Parameters
+    ----------
+    categories:
+        Iterable of category names to enable, or ``None`` for all.
+        Disabled categories emit nothing and cost nothing at call sites
+        (their channel is ``None``).
+    ring_capacity:
+        Size of the always-on flight ring (last-N events kept).
+    retain:
+        Categories whose events are additionally kept *in full* (an
+        unbounded list) for offline analysis — e.g. ``{NACK}`` for the
+        causality audit, or all categories for a Perfetto export.
+    """
+
+    def __init__(self, categories: Optional[Iterable[str]] = None, *,
+                 ring_capacity: int = DEFAULT_RING_CAPACITY,
+                 retain: Iterable[str] = ()) -> None:
+        cats = ALL_CATEGORIES if categories is None else tuple(categories)
+        unknown = set(cats) - set(ALL_CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown trace categories: {sorted(unknown)}")
+        self.enabled = frozenset(cats)
+        retained = frozenset(retain)
+        unknown = retained - set(ALL_CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown retain categories: {sorted(unknown)}")
+        # Retaining a disabled category would silently record nothing.
+        self.retain = retained & self.enabled
+        self.ring: deque = deque(maxlen=int(ring_capacity))
+        self._retained: dict[str, list] = {cat: [] for cat in self.retain}
+        self.counts: dict[str, int] = {}
+        self.dumps: list[Path] = []
+
+    # ------------------------------------------------------------------
+    # Channel handout
+    # ------------------------------------------------------------------
+    def channel(self, category: str) -> Optional["Recorder"]:
+        """Return ``self`` when *category* is enabled, else ``None``.
+
+        Call sites store the result once and guard each emit with a
+        single ``if rec is not None`` — the whole per-category flag
+        machinery compiles down to that check.
+        """
+        return self if category in self.enabled else None
+
+    # ------------------------------------------------------------------
+    # Core emit
+    # ------------------------------------------------------------------
+    def _emit(self, t: int, cat: str, name: str, loc: str,
+              data: dict) -> None:
+        record = (t, cat, name, loc, data)
+        self.ring.append(record)
+        self.counts[name] = self.counts.get(name, 0) + 1
+        retained = self._retained.get(cat)
+        if retained is not None:
+            retained.append(record)
+
+    # ------------------------------------------------------------------
+    # Typed emitters.  All copy scalar fields; none retain object refs.
+    # ------------------------------------------------------------------
+    def packet_hop(self, t: int, loc: str, packet: "Packet") -> None:
+        flow = packet.flow
+        self._emit(t, PACKET, "hop", loc, {
+            "pkt_id": packet.pkt_id, "ptype": packet.ptype.value,
+            "src": flow.src, "dst": flow.dst, "qp": flow.qp,
+            "psn": packet.psn, "epsn": packet.epsn,
+            "path_index": packet.path_index, "is_retx": packet.is_retx})
+
+    def queue_sample(self, t: int, loc: str, action: str,
+                     queued_bytes: int, backlog: int) -> None:
+        """Enqueue/dequeue with the resulting queue depth."""
+        self._emit(t, QUEUE, action, loc, {
+            "queued_bytes": queued_bytes, "backlog_pkts": backlog})
+
+    def ecn_mark(self, t: int, loc: str, packet: "Packet",
+                 queued_bytes: int) -> None:
+        self._emit(t, ECN, "ecn_mark", loc, {
+            "pkt_id": packet.pkt_id, "psn": packet.psn,
+            "flow": str(packet.flow), "queued_bytes": queued_bytes})
+
+    def drop(self, t: int, loc: str, packet: "Packet",
+             reason: str = "tail") -> None:
+        self._emit(t, DROP, "drop", loc, {
+            "pkt_id": packet.pkt_id, "ptype": packet.ptype.value,
+            "flow": str(packet.flow), "psn": packet.psn,
+            "reason": reason})
+
+    def nack_emit(self, t: int, loc: str, flow: "FlowKey", epsn: int,
+                  trigger_psn: Optional[int]) -> None:
+        """A receiver generated a NACK for *epsn* on seeing *trigger_psn*."""
+        self._emit(t, NACK, "nack_emit", loc, {
+            "flow": str(flow), "epsn": epsn, "trigger_psn": trigger_psn})
+
+    def nack_classify(self, t: int, loc: str, flow: "FlowKey", epsn: int,
+                      verdict: str, *, tpsn: Optional[int] = None,
+                      n_paths: int = 0, ring_len: int = 0,
+                      armed: bool = False,
+                      guard: Optional[str] = None) -> None:
+        """Themis-D decision for one NACK (Eq. 3 evaluation)."""
+        data: dict = {"flow": str(flow), "epsn": epsn, "verdict": verdict,
+                      "tpsn": tpsn, "n_paths": n_paths,
+                      "ring_len": ring_len, "armed": armed}
+        if n_paths:
+            data["epsn_path"] = epsn % n_paths
+            data["tpsn_path"] = None if tpsn is None else tpsn % n_paths
+        if guard is not None:
+            data["guard"] = guard
+        self._emit(t, NACK, "nack_classify", loc, data)
+
+    def nack_compensate(self, t: int, loc: str, flow: "FlowKey",
+                        bepsn: int, prove_psn: int) -> None:
+        """A previously blocked ePSN was proven lost; NACK regenerated."""
+        self._emit(t, NACK, "nack_compensate", loc, {
+            "flow": str(flow), "bepsn": bepsn, "prove_psn": prove_psn})
+
+    def nack_cancel(self, t: int, loc: str, flow: "FlowKey", bepsn: int,
+                    reason: str) -> None:
+        """Armed compensation dismissed (the blocked ePSN showed up)."""
+        self._emit(t, NACK, "nack_cancel", loc, {
+            "flow": str(flow), "bepsn": bepsn, "reason": reason})
+
+    def pfc(self, t: int, loc: str, action: str,
+            occupancy_bytes: int) -> None:
+        self._emit(t, PFC, f"pfc_{action}", loc, {
+            "occupancy_bytes": occupancy_bytes})
+
+    def qp_state(self, t: int, loc: str, flow: "FlowKey", state: str,
+                 **detail) -> None:
+        data = {"flow": str(flow), "state": state}
+        data.update(detail)
+        self._emit(t, QP, "qp_state", loc, data)
+
+    def cc_rate(self, t: int, loc: str, rate_bps: float) -> None:
+        self._emit(t, CC, "cc_rate", loc, {"rate_bps": rate_bps})
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def records(self, category: Optional[str] = None) -> list:
+        """Recorded events for one category (retained list when the
+        category is retained, else whatever survives in the flight ring);
+        all ring contents when *category* is ``None``."""
+        if category is None:
+            return list(self.ring)
+        retained = self._retained.get(category)
+        if retained is not None:
+            return list(retained)
+        return [r for r in self.ring if r[1] == category]
+
+    def total_events(self) -> int:
+        return sum(self.counts.values())
+
+    def counts_summary(self) -> dict:
+        """Per-event-name counts plus a total, for Metrics.summary()."""
+        out = dict(sorted(self.counts.items()))
+        out["total"] = self.total_events()
+        return out
+
+    # ------------------------------------------------------------------
+    # Flight-recorder dump
+    # ------------------------------------------------------------------
+    def dump_flight(self, path: str | Path | None = None, *,
+                    reason: str = "manual") -> Path:
+        """Write the flight ring as JSONL; returns the path written.
+
+        The first line is a metadata header; each following line is one
+        event.  Both are standalone JSON objects, so the file parses as
+        plain JSONL.
+        """
+        if path is None:
+            path = _default_dump_path(reason)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as fh:
+            fh.write(json.dumps({
+                "meta": "repro-flight-recorder", "reason": reason,
+                "events": len(self.ring),
+                "total_emitted": self.total_events(),
+                "categories": sorted(self.enabled)}) + "\n")
+            for t, cat, name, loc, data in self.ring:
+                doc = {"t": t, "cat": cat, "ev": name, "loc": loc}
+                doc.update(data)
+                fh.write(json.dumps(doc) + "\n")
+        self.dumps.append(path)
+        return path
+
+
+# ----------------------------------------------------------------------
+# Active-recorder registry (crash-dump hook)
+# ----------------------------------------------------------------------
+# The harness registers the recorder of the run in flight so that crash
+# paths far from the Network object (job workers, invariant checks) can
+# dump it without plumbing.  A weakref keeps the registry from extending
+# recorder lifetime.
+_active: Optional[weakref.ref] = None
+
+
+def set_active(recorder: Optional[Recorder]) -> None:
+    global _active
+    _active = None if recorder is None else weakref.ref(recorder)
+
+
+def active_recorder() -> Optional[Recorder]:
+    if _active is None:
+        return None
+    return _active()
+
+
+def _default_dump_path(reason: str) -> Path:
+    import time
+
+    directory = Path(os.environ.get(DUMP_DIR_ENV, DEFAULT_DUMP_DIR))
+    slug = "".join(c if c.isalnum() or c in "-_" else "-" for c in reason)
+    stamp = int(time.time() * 1000)
+    return directory / f"flight-{slug}-pid{os.getpid()}-{stamp}.jsonl"
+
+
+def dump_active_flight(reason: str,
+                       directory: str | Path | None = None,
+                       ) -> Optional[Path]:
+    """Dump the active recorder's flight ring; best-effort, never raises.
+
+    Returns the dump path, or ``None`` when no recorder is active or the
+    write failed (crash paths must not mask the original error).
+    """
+    rec = active_recorder()
+    if rec is None:
+        return None
+    try:
+        if directory is None:
+            path = _default_dump_path(reason)
+        else:
+            path = Path(directory) / _default_dump_path(reason).name
+        return rec.dump_flight(path, reason=reason)
+    except Exception:  # pragma: no cover - defensive
+        return None
+
+
+def check_invariant(condition: bool, message: str) -> None:
+    """Assert an internal invariant; on failure dump the flight ring.
+
+    Raises :class:`InvariantError` with the dump path appended so the
+    failure message points straight at the evidence.
+    """
+    if condition:
+        return
+    dump = dump_active_flight("invariant")
+    if dump is not None:
+        message = f"{message} [flight recorder: {dump}]"
+    raise InvariantError(message)

@@ -47,6 +47,9 @@ class Rnic(Device):
         self.cc_factory = cc_factory
         self.transport = transport
         self.uplink: Optional[Port] = None
+        #: Observability recorder (repro.obs), attached by the harness
+        #: before any QP exists; QPs resolve their channels from it.
+        self.recorder = None
         #: MPRDMA-mode hook (set by the harness): resolves a flow to its
         #: equal-cost path count so senders can apply Eq. 3 themselves.
         self.nack_filter_paths: Optional[Callable[[FlowKey], int]] = None

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.cc.base import CongestionControl
 from repro.net.packet import FlowKey, data_packet
+from repro.obs.record import QP as OBS_QP
 from repro.rnic.config import RnicConfig
 from repro.sim.engine import SEC, Simulator
 from repro.sim.events import Event
@@ -79,6 +80,12 @@ class SenderQp:
         self._rto_current_ns = config.rto_ns
 
         self.stats = metrics.flow_stats(flow)
+
+        # QP-state observability channel (repro.obs); resolved once at QP
+        # creation from the NIC's recorder (None = disabled).
+        recorder = getattr(nic, "recorder", None)
+        self.rec = None if recorder is None else recorder.channel(OBS_QP)
+        self._rec_loc = f"{nic.name}/qp{flow.qp}->nic{flow.dst}"
 
     # ------------------------------------------------------------------
     # Posting work
@@ -207,6 +214,10 @@ class SenderQp:
             self.nacks_filtered += 1
             self._maybe_schedule_send()
             return
+        if self.rec is not None:
+            self.rec.qp_state(self.sim.now, self._rec_loc, self.flow,
+                              "nack_rewind" if self.gbn else "nack_retx",
+                              epsn=epsn, inflight=self.inflight)
         if self.gbn:
             # Go-Back-N: rewind and resend everything from the expected PSN.
             if epsn < self.next_psn:
@@ -252,6 +263,10 @@ class SenderQp:
                 break
             self._next_completion += 1
             self.stats.sender_done_ns = self.sim.now
+            if self.rec is not None:
+                self.rec.qp_state(self.sim.now, self._rec_loc, self.flow,
+                                  "message_complete",
+                                  end_psn=message.end_psn)
             if message.on_done is not None:
                 message.on_done()
 
@@ -278,6 +293,10 @@ class SenderQp:
         if self.snd_una >= self.total_psns:
             return
         self.stats.timeouts += 1
+        if self.rec is not None:
+            self.rec.qp_state(self.sim.now, self._rec_loc, self.flow,
+                              "rto", snd_una=self.snd_una,
+                              rto_ns=self._rto_current_ns)
         if self.gbn:
             self.next_psn = self.snd_una
             self._retx_queue.clear()

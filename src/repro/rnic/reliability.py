@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.packet import FlowKey, Packet, ack_packet, cnp_packet, \
     nack_packet
+from repro.obs.record import NACK as OBS_NACK
 from repro.rnic.bitmap import OooTracker
 from repro.rnic.config import RnicConfig
 from repro.sim.engine import Simulator
@@ -49,6 +50,12 @@ class ReceiverQp:
 
         self.epsn = 0
         self.nack_sent_for_epsn = False
+
+        # NACK observability channel (repro.obs); resolved once at QP
+        # creation from the NIC's recorder (None = disabled).
+        recorder = getattr(nic, "recorder", None)
+        self.rec_nack = None if recorder is None \
+            else recorder.channel(OBS_NACK)
 
         self._expected: deque[tuple[int, Optional[Callable[[], None]]]] \
             = deque()                 # (end_psn, callback)
@@ -116,14 +123,21 @@ class ReceiverQp:
         self.metrics.on_ack_generated(self.flow)
         self.nic.transmit(ack_packet(self.flow, self.epsn))
 
-    def _send_nack(self, trigger_psn: int | None = None) -> None:
+    def _send_nack(self, trigger_psn: int | None = None, *,
+                   observed_psn: int | None = None) -> None:
         """Emit a NACK for the current ePSN.
 
         Commodity RNICs do not include the trigger PSN (§2.2); the
         MPRDMA-style transport overrides ``trigger_psn`` to stamp it
-        into the packet's ``psn`` field.
+        into the packet's ``psn`` field.  ``observed_psn`` is telemetry
+        only — the OOO arrival that caused this NACK — and never touches
+        the wire format.
         """
         self.metrics.on_nack_generated(self.flow)
+        if self.rec_nack is not None:
+            self.rec_nack.nack_emit(
+                self.sim.now, self.nic.name, self.flow, self.epsn,
+                trigger_psn if trigger_psn is not None else observed_psn)
         nack = nack_packet(self.flow, self.epsn)
         if trigger_psn is not None:
             nack.psn = trigger_psn
@@ -177,7 +191,7 @@ class NicSrReceiver(ReceiverQp):
         self.tracker.add(psn)
         if not self.nack_sent_for_epsn:
             self.nack_sent_for_epsn = True
-            self._send_nack()
+            self._send_nack(observed_psn=psn)
 
 
 class GbnReceiver(ReceiverQp):
@@ -206,7 +220,7 @@ class GbnReceiver(ReceiverQp):
         self.ooo_dropped += 1
         if not self.nack_sent_for_epsn:
             self.nack_sent_for_epsn = True
-            self._send_nack()
+            self._send_nack(observed_psn=psn)
 
 
 class IdealReceiver(ReceiverQp):

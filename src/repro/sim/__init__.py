@@ -4,7 +4,10 @@ from repro.sim.engine import (MS, NS, SEC, US, HeapSimulator,
                               SimulationError, Simulator)
 from repro.sim.events import Event
 from repro.sim.rng import SimRng
-from repro.sim.trace import RateMeter, TimeSeries, WindowedCounter, summarize
+# Time-series types live in the observability layer now; re-exported here
+# for compatibility (repro.sim.trace itself is deprecated).
+from repro.obs.timeseries import (RateMeter, TimeSeries, WindowedCounter,
+                                  summarize)
 
 __all__ = [
     "Simulator", "HeapSimulator", "SimulationError", "Event", "SimRng",

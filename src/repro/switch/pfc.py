@@ -63,6 +63,8 @@ class PfcController:
         self._origin: dict[int, Port] = {}
         self.pauses_sent = 0
         self.resumes_sent = 0
+        #: PFC observability channel (repro.obs); None = disabled.
+        self.rec = None
 
     # ------------------------------------------------------------------
     def on_ingress(self, packet: Packet, in_port: Optional[Port]) -> None:
@@ -77,6 +79,9 @@ class PfcController:
                 and in_port not in self._paused:
             self._paused.add(in_port)
             self.pauses_sent += 1
+            if self.rec is not None:
+                self.rec.pfc(self.sim.now, in_port.name, "pause",
+                             occupancy)
             # The PAUSE frame crosses the wire back to the transmitter.
             self.sim.schedule(in_port.delay_ns, in_port.pause_data)
 
@@ -91,6 +96,9 @@ class PfcController:
         if occupancy <= self.config.xon_bytes and in_port in self._paused:
             self._paused.discard(in_port)
             self.resumes_sent += 1
+            if self.rec is not None:
+                self.rec.pfc(self.sim.now, in_port.name, "resume",
+                             occupancy)
             self.sim.schedule(in_port.delay_ns, in_port.resume_data)
 
     def ingress_occupancy(self, port: Port) -> int:

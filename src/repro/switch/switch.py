@@ -66,6 +66,8 @@ class SwitchQueuePolicy(QueuePolicy):
         self.buffer = buffer
         self.marker = marker
         self.switch = switch
+        #: ECN observability channel (repro.obs); None = disabled.
+        self.rec_ecn = None
 
     def admit(self, port: Port, packet: Packet) -> bool:
         return self.buffer.can_admit(packet.wire_bytes, port.queued_bytes)
@@ -75,6 +77,9 @@ class SwitchQueuePolicy(QueuePolicy):
         if not packet.ecn_marked and self.marker.should_mark(
                 port.queued_bytes):
             packet.ecn_marked = True
+            if self.rec_ecn is not None:
+                self.rec_ecn.ecn_mark(self.switch.sim.now, port.name,
+                                      packet, port.queued_bytes)
 
     def on_dequeue(self, port: Port, packet: Packet) -> None:
         self.buffer.release(packet.wire_bytes)
@@ -100,6 +105,8 @@ class Switch(Device):
         #: Optional PFC state machine (see repro.switch.pfc); installed
         #: by the harness when the fabric runs lossless.
         self.pfc = None
+        #: Packet-hop observability channel (repro.obs); None = disabled.
+        self.rec = None
         self._policy = SwitchQueuePolicy(buffer, ecn_marker, self)
         # Per-switch hash seed/rotation: real ASICs configure their CRC
         # engines per box, which is what makes multi-stage ECMP decorrelate
@@ -126,6 +133,8 @@ class Switch(Device):
     def receive(self, packet: Packet, in_port: Optional[Port]) -> None:
         # forward() is inlined below — this runs once per packet per hop;
         # keep the two bodies in sync.
+        if self.rec is not None:
+            self.rec.packet_hop(self.sim.now, self.name, packet)
         if self.pfc is not None:
             self.pfc.on_ingress(packet, in_port)
         if self.middleware:

@@ -46,6 +46,8 @@ class ThemisDest(Middleware):
         self.queue_capacity_for = queue_capacity_for
         self.table = FlowTable()
         self.enabled = True
+        #: NACK-audit observability channel (repro.obs); None = disabled.
+        self.rec = None
 
     def disable(self) -> None:
         """Link-failure fallback (§6): pass every packet through
@@ -73,7 +75,7 @@ class ThemisDest(Middleware):
                 and not packet.themis_generated
                 and packet.flow.src in switch.down_nics
                 and packet.flow.dst not in switch.down_nics):
-            return self._on_nack_from_nic(packet)
+            return self._on_nack_from_nic(switch, packet)
         return True
 
     # ------------------------------------------------------------------
@@ -109,6 +111,9 @@ class ThemisDest(Middleware):
             # The "lost" packet arrived after all: nothing to compensate.
             entry.valid = False
             self.metrics.themis.compensation_cancelled += 1
+            if self.rec is not None:
+                self.rec.nack_cancel(switch.sim.now, switch.name,
+                                     entry.flow, bepsn, "bepsn_arrived")
             return
         if psn > bepsn and entry.same_path(psn, bepsn):
             # A later packet on the *same* path overtook the blocked ePSN:
@@ -116,6 +121,9 @@ class ThemisDest(Middleware):
             entry.valid = False
             entry.nacks_compensated += 1
             self.metrics.themis.nacks_compensated += 1
+            if self.rec is not None:
+                self.rec.nack_compensate(switch.sim.now, switch.name,
+                                         entry.flow, bepsn, psn)
             nack = nack_packet(entry.flow, bepsn)
             nack.themis_generated = True
             switch.forward(nack)
@@ -123,23 +131,32 @@ class ThemisDest(Middleware):
     # ------------------------------------------------------------------
     # NACK path: tPSN identification + Eq. 3 validation
     # ------------------------------------------------------------------
-    def _on_nack_from_nic(self, packet: Packet) -> bool:
+    def _on_nack_from_nic(self, switch: Switch, packet: Packet) -> bool:
         if not self.config.enable_validation:
             return True
         data_flow = packet.flow.reversed()
         entry = self.table.get(data_flow)
         self.metrics.themis.nacks_inspected += 1
+        rec = self.rec
         if entry is None:
             # No state (e.g. NACK before any data was seen) — be
             # conservative and behave like a vanilla switch.
             self.metrics.themis.tpsn_not_found += 1
             self.metrics.themis.nacks_forwarded += 1
+            if rec is not None:
+                rec.nack_classify(switch.sim.now, switch.name, data_flow,
+                                  packet.epsn, "no_state")
             return True
         tpsn = entry.queue.find_tpsn(packet.epsn)
         if tpsn is None:
             self.metrics.themis.tpsn_not_found += 1
             self.metrics.themis.nacks_forwarded += 1
             entry.nacks_forwarded += 1
+            if rec is not None:
+                rec.nack_classify(switch.sim.now, switch.name, data_flow,
+                                  packet.epsn, "no_tpsn",
+                                  n_paths=entry.n_paths,
+                                  ring_len=len(entry.queue))
             return True
         # Eq. 3 in the (possibly truncated) PSN space: psn_bits is chosen
         # so that 2^bits is a multiple of N, making the residue exact.
@@ -147,9 +164,16 @@ class ThemisDest(Middleware):
         if entry.same_path(tpsn, epsn_trunc):
             self.metrics.themis.nacks_forwarded += 1
             entry.nacks_forwarded += 1
+            if rec is not None:
+                rec.nack_classify(switch.sim.now, switch.name, data_flow,
+                                  packet.epsn, "forwarded", tpsn=tpsn,
+                                  n_paths=entry.n_paths,
+                                  ring_len=len(entry.queue))
             return True
         self.metrics.themis.nacks_blocked += 1
         entry.nacks_blocked += 1
+        armed = False
+        guard = None
         if self.config.enable_compensation:
             # Arming guard: the NACK is one last-hop RTT stale.  If the
             # expected packet already traversed the ToR it sits in the
@@ -159,7 +183,24 @@ class ThemisDest(Middleware):
             # spuriously.  Arm only when the ePSN is absent.
             if entry.queue.contains(packet.epsn):
                 self.metrics.themis.compensation_cancelled += 1
+                guard = "epsn_in_ring"
             else:
+                if rec is not None and entry.valid \
+                        and entry.blocked_epsn != packet.epsn:
+                    # One (BePSN, Valid) register per flow: a new arming
+                    # quietly replaces the previous one.
+                    rec.nack_cancel(switch.sim.now, switch.name,
+                                    data_flow, entry.blocked_epsn,
+                                    "superseded")
                 entry.blocked_epsn = packet.epsn
                 entry.valid = True
+                armed = True
+        else:
+            guard = "compensation_disabled"
+        if rec is not None:
+            rec.nack_classify(switch.sim.now, switch.name, data_flow,
+                              packet.epsn, "blocked", tpsn=tpsn,
+                              n_paths=entry.n_paths,
+                              ring_len=len(entry.queue), armed=armed,
+                              guard=guard)
         return False

@@ -5,7 +5,7 @@ import pytest
 from repro.cc.base import FixedRate
 from repro.cc.dcqcn import Dcqcn, DcqcnConfig
 from repro.sim.engine import US, Simulator
-from repro.sim.trace import TimeSeries
+from repro.obs.timeseries import TimeSeries
 
 LINE = 100e9
 

@@ -72,3 +72,95 @@ class TestJsonExport:
         assert payload["scheme"] == "ecmp"
         assert payload["completed"]
         assert payload["tail_completion_ms"] > 0
+
+
+class TestGlobalOutputFlags:
+    def test_json_before_subcommand(self, capsys):
+        import json
+        assert main(["--json", "memory"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_bytes"] == 192512
+
+    def test_json_after_subcommand(self, capsys):
+        import json
+        assert main(["memory", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_kb"] == 192.5
+
+    def test_quiet_keeps_primary_output(self, capsys):
+        assert main(["--quiet", "memory"]) == 0
+        assert "192512" in capsys.readouterr().out
+
+    def test_collective_json_path_flag_still_parses(self):
+        args = build_parser().parse_args(
+            ["collective", "--json", "out.json"])
+        assert args.json == "out.json"
+        assert args.json_mode is False
+
+
+class TestTraceCommand:
+    def test_nack_report(self, capsys):
+        rc = main(["trace", "nacks", "--nodes", "6", "--bytes", "6000",
+                   "--loss", "0.02", "--limit", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "NACK causality audit" in out
+        assert "unexplained=0" in out
+
+    def test_quiet_drops_progress_keeps_report(self, capsys):
+        rc = main(["--quiet", "trace", "--nodes", "4",
+                   "--bytes", "4000"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "running traced" not in out
+        assert "NACK causality audit" in out
+
+    def test_json_mode_emits_audit_document(self, capsys):
+        import json
+        rc = main(["--json", "trace", "--nodes", "4", "--bytes", "4000"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"] == "nacks"
+        assert payload["audit"]["unexplained"] == 0
+        assert payload["metrics"]["trace_events"] > 0
+
+    def test_perfetto_and_dump_artifacts(self, tmp_path, capsys):
+        import json
+        trace = tmp_path / "trace.json"
+        dump = tmp_path / "flight.jsonl"
+        rc = main(["trace", "--nodes", "4", "--bytes", "4000",
+                   "--perfetto", str(trace), "--dump", str(dump)])
+        assert rc == 0
+        from repro.obs.perfetto import validate_chrome_trace
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+        lines = dump.read_text().splitlines()
+        assert json.loads(lines[0])["meta"] == "repro-flight-recorder"
+        assert all(json.loads(ln) for ln in lines)
+
+    def test_odd_node_count_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            main(["trace", "--nodes", "5"])
+
+
+class TestProfileCommand:
+    def test_table_output(self, capsys):
+        rc = main(["profile", "--nodes", "4", "--bytes", "4000",
+                   "--top", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "handler" in out
+        assert "total profiled wall time" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+        out_file = tmp_path / "profile.json"
+        rc = main(["--json", "profile", "--nodes", "4",
+                   "--bytes", "4000", "--out", str(out_file)])
+        assert rc == 0
+        stdout_doc = json.loads(capsys.readouterr().out)
+        file_doc = json.loads(out_file.read_text())
+        for doc in (stdout_doc, file_doc):
+            assert doc["handlers"]
+            assert doc["total_ms"] > 0
+            assert {"handler", "calls", "total_ms", "mean_us",
+                    "share"} <= set(doc["handlers"][0])

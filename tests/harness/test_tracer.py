@@ -3,7 +3,7 @@
 import json
 
 from repro.harness.network import Network, NetworkConfig, TopologySpec
-from repro.harness.tracer import attach_tracer
+from repro.obs import attach_tracer
 from repro.net.packet import FlowKey
 
 TOPO = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=4,
@@ -103,6 +103,20 @@ class TestQueryHelpers:
     def test_nack_events_collected_when_present(self):
         net, tracer = traced_run("rps", nbytes=150_000)
         nacks = tracer.nack_events()
+        assert all(e.ptype == "nack" for e in nacks)
+
+    def test_nack_events_present_on_lossy_uplinks(self):
+        from repro.switch.switch import Switch
+        net = Network(NetworkConfig(topology=TOPO, scheme="rps", seed=2))
+        tracer = attach_tracer(net)
+        loss_rng = net.rng.fork("loss")
+        for port in net.topology.tors[0].ports:
+            if isinstance(port.peer, Switch):
+                port.set_loss(0.05, loss_rng)
+        net.post_message(0, 1, 150_000)
+        net.run(until_ns=10_000_000_000)
+        nacks = tracer.nack_events()
+        assert nacks, "lossy run produced no NACK trace events"
         assert all(e.ptype == "nack" for e in nacks)
 
     def test_spine_of_unknown_packet(self):

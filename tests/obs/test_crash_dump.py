@@ -1,0 +1,110 @@
+"""Crash-path coverage: every advertised dump trigger must produce a
+parseable flight-recorder JSONL file.
+
+Three triggers are wired in (see docs/observability.md): a simulation
+exception inside :meth:`Network.run`, an invariant failure via
+:func:`check_invariant` (covered in test_recorder.py), and a job-worker
+crash in :mod:`repro.harness.jobs` — both isolation modes.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.jobs import JobRunner, JobSpec
+from repro.harness.network import Network, NetworkConfig, TopologySpec
+from repro.obs.record import Recorder, set_active
+
+TOPO = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=2,
+                    nics_per_tor=1, link_bandwidth_bps=25e9)
+
+
+def read_dump(path):
+    lines = [json.loads(ln) for ln in open(path).read().splitlines()]
+    assert lines[0]["meta"] == "repro-flight-recorder"
+    return lines[0], lines[1:]
+
+
+class TestSimExceptionDump:
+    def test_mid_sim_exception_dumps_flight_ring(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        rec = Recorder()
+        net = Network(NetworkConfig(topology=TOPO, scheme="rps", seed=3),
+                      recorder=rec)
+        net.post_message(0, 1, 40_000)
+
+        def boom():
+            raise RuntimeError("injected mid-sim failure")
+
+        # Fire after traffic has produced events, before completion.
+        net.sim.schedule(20_000, boom)
+        with pytest.raises(RuntimeError, match="injected mid-sim"):
+            net.run(until_ns=10_000_000_000)
+        set_active(None)
+        assert rec.dumps, "sim exception did not dump the flight ring"
+        header, events = read_dump(rec.dumps[-1])
+        assert header["reason"] == "sim-exception"
+        assert events, "dump carried no events"
+        assert {"t", "cat", "ev", "loc"} <= set(events[0])
+
+    def test_untraced_run_exception_propagates_cleanly(self):
+        net = Network(NetworkConfig(topology=TOPO, scheme="rps", seed=3))
+
+        def boom():
+            raise RuntimeError("no recorder attached")
+
+        net.sim.schedule(1000, boom)
+        with pytest.raises(RuntimeError, match="no recorder"):
+            net.run(until_ns=1_000_000)
+
+
+def _plain_boom(seed):
+    raise RuntimeError(f"worker exploded (seed={seed})")
+
+
+def _traced_boom(seed):
+    """Simulates a traced experiment dying mid-run in a worker."""
+    rec = Recorder()
+    set_active(rec)
+    for i in range(5):
+        rec.queue_sample(i, "tor0:p0", "enq", i, i)
+    raise RuntimeError("traced worker exploded")
+
+
+class TestJobWorkerCrashDump:
+    def test_inproc_failure_appends_dump_path(self, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        rec = Recorder()
+        rec.queue_sample(1, "a", "enq", 0, 0)
+        set_active(rec)
+        try:
+            runner = JobRunner(workers=1, isolation="inproc", retries=0)
+            outcome = runner.run_one(JobSpec(
+                kind="callable", seed=0,
+                params={"target": "tests.obs.test_crash_dump:_plain_boom"}))
+        finally:
+            set_active(None)
+        assert outcome.status == "failed"
+        assert "worker exploded" in outcome.error
+        assert "[flight recorder: " in outcome.error
+        dump_path = outcome.error.rsplit("[flight recorder: ", 1)[1][:-1]
+        header, _ = read_dump(dump_path)
+        assert header["reason"] == "job-failure"
+
+    def test_subprocess_crash_appends_dump_path(self, tmp_path,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        runner = JobRunner(workers=1, isolation="subprocess", retries=0,
+                           mp_method="spawn")
+        outcome = runner.run_one(JobSpec(
+            kind="callable", seed=0,
+            params={"target": "tests.obs.test_crash_dump:_traced_boom"}))
+        assert outcome.status == "failed"
+        assert "traced worker exploded" in outcome.error
+        assert "[flight recorder: " in outcome.error
+        dump_path = outcome.error.rsplit("[flight recorder: ", 1)[1][:-1]
+        header, events = read_dump(dump_path)
+        assert header["reason"] == "job-crash"
+        assert len(events) == 5

@@ -1,0 +1,131 @@
+"""Tests for the NACK-decision causality audit."""
+
+from repro.obs.nacks import build_audit, format_report
+from repro.obs.record import NACK, Recorder
+
+
+class _Flow:
+    def __str__(self):
+        return "0->1#0"
+
+
+FLOW = _Flow()
+
+
+def classify(rec, t, epsn, verdict, **kw):
+    rec.nack_classify(t, "tor1", FLOW, epsn, verdict, **kw)
+
+
+class TestBuildAudit:
+    def test_compensated_lifecycle(self):
+        rec = Recorder(retain={NACK})
+        rec.nack_emit(100, "nic1", FLOW, 7, 8)
+        classify(rec, 110, 7, "blocked", tpsn=8, n_paths=8, ring_len=2,
+                 armed=True)
+        rec.nack_compensate(500, "tor1", FLOW, 7, 15)
+        audit = build_audit(rec.records(NACK))
+        (decision,) = audit.decisions
+        assert decision.verdict == "blocked"
+        assert decision.emit_t == 100
+        assert decision.emit_trigger_psn == 8
+        assert decision.epsn_path == 7 and decision.tpsn_path == 0
+        assert decision.outcome == "compensated"
+        assert decision.outcome_t == 500
+        assert decision.prove_psn == 15
+        assert decision.explained
+        assert audit.summary()["compensated"] == 1
+        assert audit.summary()["unexplained"] == 0
+
+    def test_cancelled_lifecycle(self):
+        rec = Recorder(retain={NACK})
+        rec.nack_emit(100, "nic1", FLOW, 3, 4)
+        classify(rec, 110, 3, "blocked", tpsn=4, n_paths=4, armed=True)
+        rec.nack_cancel(400, "tor1", FLOW, 3, "bepsn_arrived")
+        audit = build_audit(rec.records(NACK))
+        (decision,) = audit.decisions
+        assert decision.outcome == "cancelled"
+        assert audit.summary()["cancelled"] == 1
+
+    def test_armed_without_outcome_is_open_and_unexplained(self):
+        rec = Recorder(retain={NACK})
+        classify(rec, 110, 3, "blocked", tpsn=4, n_paths=4, armed=True)
+        audit = build_audit(rec.records(NACK))
+        assert audit.decisions[0].outcome == "open"
+        # "open" counts as an outcome: the trace simply ended first.
+        assert audit.decisions[0].explained
+        assert audit.summary()["armed_open"] == 1
+
+    def test_no_state_and_no_tpsn_self_explain(self):
+        rec = Recorder(retain={NACK})
+        classify(rec, 1, 3, "no_state")
+        classify(rec, 2, 4, "no_tpsn", n_paths=4, ring_len=0)
+        audit = build_audit(rec.records(NACK))
+        assert all(d.explained for d in audit.decisions)
+        summary = audit.summary()
+        assert summary["no_state"] == 1 and summary["no_tpsn"] == 1
+
+    def test_forwarded_without_context_is_unexplained(self):
+        rec = Recorder(retain={NACK})
+        classify(rec, 1, 3, "forwarded")  # no tpsn / n_paths
+        audit = build_audit(rec.records(NACK))
+        assert not audit.decisions[0].explained
+        assert audit.summary()["unexplained"] == 1
+
+    def test_rearm_supersedes_older_decision(self):
+        rec = Recorder(retain={NACK})
+        classify(rec, 100, 3, "blocked", tpsn=4, n_paths=4, armed=True)
+        classify(rec, 200, 3, "blocked", tpsn=5, n_paths=4, armed=True)
+        rec.nack_compensate(300, "tor1", FLOW, 3, 9)
+        audit = build_audit(rec.records(NACK))
+        first, second = audit.decisions
+        assert first.outcome == "open"
+        assert second.outcome == "compensated"
+
+    def test_mixed_categories_are_ignored(self):
+        rec = Recorder(retain={NACK})
+        rec.pfc(1, "tor0:p0", "pause", 9000)
+        classify(rec, 2, 1, "no_state")
+        audit = build_audit(rec.records())  # whole ring, mixed stream
+        assert len(audit.decisions) == 1
+
+
+class TestFormatReport:
+    def _audit(self):
+        rec = Recorder(retain={NACK})
+        rec.nack_emit(100, "nic1", FLOW, 7, 8)
+        classify(rec, 110, 7, "blocked", tpsn=8, n_paths=8, armed=True)
+        rec.nack_compensate(500, "tor1", FLOW, 7, 15)
+        classify(rec, 600, 9, "no_tpsn", n_paths=8)
+        return build_audit(rec.records(NACK))
+
+    def test_report_contains_timeline(self):
+        report = format_report(self._audit())
+        assert "NACK causality audit" in report
+        assert "receiver NACKed ePSN 7 on seeing PSN 8" in report
+        assert "verdict=blocked" in report
+        assert "compensated: PSN 15 proved BePSN 7 lost" in report
+
+    def test_limit_truncates(self):
+        report = format_report(self._audit(), limit=1)
+        assert "1 more decisions truncated" in report
+
+    def test_verdict_filter(self):
+        report = format_report(self._audit(), verdicts={"no_tpsn"})
+        assert "verdict=no_tpsn" in report
+        assert "verdict=blocked" not in report
+
+
+class TestEndToEnd:
+    def test_lossy_alltoall_explains_every_decision(self):
+        from repro.harness.tracing import run_traced_alltoall
+
+        net, recorder = run_traced_alltoall(nodes=8, loss=0.02, seed=11,
+                                            message_bytes=8000)
+        audit = build_audit(recorder.records(NACK))
+        summary = audit.summary()
+        assert summary["decisions"] > 0, "scenario produced no NACKs"
+        assert summary["unexplained"] == 0
+        # Eq. 3 bookkeeping must agree with the harness counters.
+        assert summary["blocked"] == net.metrics.themis.nacks_blocked
+        assert summary["compensated"] == \
+            net.metrics.themis.nacks_compensated

@@ -1,0 +1,80 @@
+"""Tests for the event-handler wall-time profiler."""
+
+import pytest
+
+from repro.obs.profile import Profiler
+from repro.sim.engine import HeapSimulator, Simulator
+
+
+def busy(n=2000):
+    total = 0
+    for i in range(n):
+        total += i
+    return total
+
+
+class TestProfiler:
+    def run_workload(self, sim):
+        fired = {"n": 0}
+
+        def tick():
+            busy()
+            fired["n"] += 1
+            if fired["n"] < 50:
+                sim.schedule(100, tick)
+
+        def tock():
+            busy(500)
+
+        sim.schedule(0, tick)
+        sim.schedule(50, tock)
+        prof = Profiler(sim).attach()
+        sim.run()
+        prof.detach()
+        return prof
+
+    def test_histograms_by_qualname(self):
+        prof = self.run_workload(Simulator())
+        keys = set(prof.stats)
+        assert any("tick" in k for k in keys)
+        assert any("tock" in k for k in keys)
+        tick_stats = next(s for k, s in prof.stats.items() if "tick" in k)
+        assert tick_stats.calls >= 10
+        assert tick_stats.total_s > 0
+        assert tick_stats.mean_us > 0
+
+    def test_works_on_heap_engine_too(self):
+        prof = self.run_workload(HeapSimulator())
+        assert prof.stats
+
+    def test_report_shares_sum_to_one(self):
+        report = self.run_workload(Simulator()).report()
+        assert report["handlers"] == sorted(
+            report["handlers"], key=lambda r: -r["total_ms"])
+        assert sum(r["share"] for r in report["handlers"]) == \
+            pytest.approx(1.0, abs=0.01)
+        assert report["total_ms"] > 0
+
+    def test_format_table(self):
+        prof = self.run_workload(Simulator())
+        table = prof.format_table()
+        assert "handler" in table.splitlines()[0]
+        assert "total profiled wall time" in table.splitlines()[-1]
+
+    def test_attach_conflict_raises(self):
+        sim = Simulator()
+        sim.trace = lambda *a: None
+        with pytest.raises(RuntimeError, match="already in use"):
+            Profiler(sim).attach()
+
+    def test_context_manager_detaches(self):
+        sim = Simulator()
+        sim.schedule(0, busy)
+        with Profiler(sim) as prof:
+            assert sim.trace is not None
+            sim.run()
+        assert sim.trace is None
+        assert prof.stats
+
+    def test_detach_without_attach_is_noop(self):
+        Profiler(Simulator()).detach()

@@ -1,0 +1,57 @@
+"""The pre-obs module paths must keep working, with a deprecation nudge."""
+
+import importlib
+import warnings
+
+import pytest
+
+
+class TestSimTraceShim:
+    def test_reexports_are_identical(self):
+        import repro.obs.timeseries as new
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            import repro.sim.trace as old
+            old = importlib.reload(old)
+        assert old.TimeSeries is new.TimeSeries
+        assert old.WindowedCounter is new.WindowedCounter
+        assert old.RateMeter is new.RateMeter
+        assert old.summarize is new.summarize
+
+    def test_import_warns(self):
+        import repro.sim.trace as old
+        with pytest.warns(DeprecationWarning,
+                          match="repro.obs.timeseries"):
+            importlib.reload(old)
+
+
+class TestHarnessTracerShim:
+    def test_reexports_are_identical(self):
+        import repro.obs.capture as new
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            import repro.harness.tracer as old
+            old = importlib.reload(old)
+        assert old.PacketTracer is new.PacketTracer
+        assert old.TraceEvent is new.TraceEvent
+        assert old.attach_tracer is new.attach_tracer
+
+    def test_import_warns(self):
+        import repro.harness.tracer as old
+        with pytest.warns(DeprecationWarning, match="repro.obs"):
+            importlib.reload(old)
+
+
+class TestObsPackageSurface:
+    def test_lazy_exports_resolve(self):
+        import repro.obs as obs
+        for name in ("PacketTracer", "TraceEvent", "attach_tracer",
+                     "build_audit", "format_report", "NackAudit",
+                     "NackDecision", "export_chrome_trace",
+                     "write_chrome_trace", "validate_chrome_trace"):
+            assert getattr(obs, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        import repro.obs as obs
+        with pytest.raises(AttributeError):
+            obs.does_not_exist

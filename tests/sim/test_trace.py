@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.trace import RateMeter, TimeSeries, WindowedCounter, summarize
+from repro.obs.timeseries import RateMeter, TimeSeries, WindowedCounter, summarize
 
 
 class TestTimeSeries:
