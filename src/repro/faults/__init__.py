@@ -1,0 +1,62 @@
+"""repro.faults — schedulable network failures and fault campaigns.
+
+Three pieces:
+
+* :mod:`repro.faults.spec` — composable fault layers (link flap, rate
+  degradation, latency shift, switch reboot, PFC storm, random loss)
+  and the declarative scenario builder that compiles them into a flat
+  campaign spec.
+* :mod:`repro.faults.injector` — schedules a compiled spec's actions as
+  first-class engine events on a built :class:`repro.harness.network.Network`,
+  with every action recorded on the ``FAULT`` observability category.
+* :mod:`repro.faults.campaign` — runs (scenario, seed) cells on the
+  parallel job runner and reports recovery-time / goodput-dip /
+  NACK-validity metrics.
+
+``spec`` has no heavy dependencies and is imported eagerly; the injector
+and campaign layers (which pull in the network stack and the harness)
+load lazily so low-level packages can import :mod:`repro.faults` freely.
+"""
+
+from repro.faults.spec import (DEFAULT_CONVERGE_US, LAYER_KINDS,
+                               LatencyShift, LinkFlap, PfcStorm,
+                               RandomLoss, RateDegrade, Scenario,
+                               ScenarioError, SwitchReboot,
+                               compiled_spec, load_scenario,
+                               scenario_from_dict, spec_duration_us,
+                               validate_compiled)
+
+__all__ = [
+    "Scenario", "ScenarioError", "LinkFlap", "RateDegrade",
+    "LatencyShift", "SwitchReboot", "PfcStorm", "RandomLoss",
+    "LAYER_KINDS", "DEFAULT_CONVERGE_US",
+    "compiled_spec", "scenario_from_dict", "load_scenario",
+    "validate_compiled", "spec_duration_us",
+    # Lazily loaded:
+    "FaultInjector",
+    "run_cell", "run_campaign", "campaign_specs", "validate_result",
+    "BUILTIN_SCENARIOS", "builtin",
+]
+
+_LAZY = {
+    "FaultInjector": ("repro.faults.injector", "FaultInjector"),
+    "run_cell": ("repro.faults.campaign", "run_cell"),
+    "run_campaign": ("repro.faults.campaign", "run_campaign"),
+    "campaign_specs": ("repro.faults.campaign", "campaign_specs"),
+    "validate_result": ("repro.faults.campaign", "validate_result"),
+    "BUILTIN_SCENARIOS": ("repro.faults.scenarios", "BUILTIN_SCENARIOS"),
+    "builtin": ("repro.faults.scenarios", "builtin"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute "
+                             f"{name!r}")
+    import importlib
+
+    module = importlib.import_module(target[0])
+    value = getattr(module, target[1])
+    globals()[name] = value
+    return value

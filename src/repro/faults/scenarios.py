@@ -1,0 +1,88 @@
+"""Built-in named fault scenarios.
+
+A small registry of ready-to-run campaigns (``repro faults run --name``)
+that double as living documentation of the layer vocabulary.  Each entry
+is a zero-argument builder returning a fresh :class:`Scenario`, so
+callers can tweak before compiling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.spec import (LatencyShift, LinkFlap, PfcStorm,
+                               RandomLoss, RateDegrade, Scenario,
+                               SwitchReboot)
+
+
+def link_flap_smoke() -> Scenario:
+    """Tiny CI scenario: one uplink flaps once mid-alltoall."""
+    return Scenario(
+        "link-flap-smoke",
+        workload={"nodes": 8, "message_bytes": 200_000},
+    ).add(LinkFlap(link="tor0:spine0", at_us=40, down_us=80))
+
+
+def flap_storm() -> Scenario:
+    """Repeated flapping on one uplink — the pathological LAG member."""
+    return Scenario(
+        "flap-storm",
+        workload={"nodes": 8, "message_bytes": 400_000},
+    ).add(LinkFlap(link="tor0:spine0", at_us=50, down_us=40, repeat=4,
+                   period_us=120))
+
+
+def brownout() -> Scenario:
+    """One uplink degrades to 25% rate while another grows latency."""
+    return Scenario(
+        "brownout",
+        workload={"nodes": 8, "message_bytes": 400_000},
+    ).add(RateDegrade(link="tor0:spine0", at_us=40, duration_us=300,
+                      factor=0.25)) \
+     .add(LatencyShift(link="tor1:spine1", at_us=80, duration_us=200,
+                       extra_us=5, direction="ab"))
+
+
+def spine_reboot() -> Scenario:
+    """A spine power-cycles mid-run: buffers drain, routes shrink."""
+    return Scenario(
+        "spine-reboot",
+        workload={"nodes": 8, "message_bytes": 400_000},
+    ).add(SwitchReboot(switch="spine0", at_us=60, down_us=200))
+
+
+def pfc_storm() -> Scenario:
+    """A spine holds its neighbours paused (lossless-fabric pathology)."""
+    return Scenario(
+        "pfc-storm",
+        workload={"nodes": 8, "message_bytes": 300_000},
+    ).add(PfcStorm(switch="spine0", at_us=50, duration_us=150))
+
+
+def gray_failure() -> Scenario:
+    """Silent partial loss on one uplink — the hardest fault to detect."""
+    return Scenario(
+        "gray-failure",
+        workload={"nodes": 8, "message_bytes": 400_000},
+    ).add(RandomLoss(link="tor0:spine0", at_us=30, duration_us=400,
+                     rate=0.05))
+
+
+BUILTIN_SCENARIOS: dict[str, Callable[[], Scenario]] = {
+    "link-flap-smoke": link_flap_smoke,
+    "flap-storm": flap_storm,
+    "brownout": brownout,
+    "spine-reboot": spine_reboot,
+    "pfc-storm": pfc_storm,
+    "gray-failure": gray_failure,
+}
+
+
+def builtin(name: str) -> Scenario:
+    """Fresh builder output for a named scenario."""
+    try:
+        return BUILTIN_SCENARIOS[name]()
+    except KeyError:
+        raise LookupError(
+            f"no builtin scenario {name!r} "
+            f"(known: {sorted(BUILTIN_SCENARIOS)})") from None

@@ -175,6 +175,51 @@ def build_parser() -> argparse.ArgumentParser:
                           "(open at ui.perfetto.dev)")
     trc.add_argument("--dump", metavar="PATH", default=None,
                      help="also write the flight ring as JSONL")
+    trc.add_argument("--fault-link", metavar="A:B", default=None,
+                     help="flap this cable mid-flight (link-down "
+                          "resilience audit; e.g. tor0:spine0)")
+    trc.add_argument("--fault-at-us", type=float, default=40.0,
+                     help="when the --fault-link cable goes down")
+    trc.add_argument("--fault-down-us", type=float, default=80.0,
+                     help="how long the --fault-link cable stays down")
+
+    flt = sub.add_parser("faults", parents=[out_flags],
+                         help="fault-injection campaigns "
+                              "(repro.faults scenarios)")
+    flt_sub = flt.add_subparsers(dest="faults_command", required=True)
+    flt_run = flt_sub.add_parser("run", parents=[out_flags],
+                                 help="run a campaign on the job runner")
+    spec_src = flt_run.add_mutually_exclusive_group(required=True)
+    spec_src.add_argument("--spec", metavar="PATH",
+                          help="declarative scenario JSON file")
+    spec_src.add_argument("--name", metavar="SCENARIO",
+                          help="builtin scenario name "
+                               "(see 'repro faults list')")
+    flt_run.add_argument("--seeds", type=int, default=3,
+                         help="number of seeds (cells) to run")
+    flt_run.add_argument("--seed-base", type=int, default=1,
+                         help="first seed value")
+    flt_run.add_argument("--workers", type=int, default=1,
+                         help="parallel worker subprocesses")
+    flt_run.add_argument("--timeout", type=float, default=None,
+                         metavar="S", help="per-cell wall timeout")
+    flt_run.add_argument("--retries", type=int, default=2,
+                         help="retries per cell on crash/timeout")
+    flt_run.add_argument("--resume", metavar="PATH", default=None,
+                         help="JSONL checkpoint for resume")
+    flt_run.add_argument("--out", metavar="PATH", default=None,
+                         help="write the campaign summary as JSON")
+    flt_run.add_argument("--progress", action="store_true",
+                         help="print per-cell progress lines")
+    flt_sub.add_parser("list", parents=[out_flags],
+                       help="list builtin scenarios")
+    flt_show = flt_sub.add_parser("show", parents=[out_flags],
+                                  help="print a compiled scenario spec")
+    show_src = flt_show.add_mutually_exclusive_group(required=True)
+    show_src.add_argument("--spec", metavar="PATH",
+                          help="declarative scenario JSON file")
+    show_src.add_argument("--name", metavar="SCENARIO",
+                          help="builtin scenario name")
 
     prof = sub.add_parser("profile", parents=[out_flags],
                           help="wall-time histogram per event-handler "
@@ -377,13 +422,22 @@ def cmd_trace(args: argparse.Namespace, console: Console) -> int:
     from repro.obs.nacks import build_audit, format_report
     from repro.obs.record import NACK
 
+    faults = None
+    if args.fault_link:
+        from repro.faults.spec import LinkFlap, Scenario
+        faults = Scenario("trace-link-flap").add(LinkFlap(
+            link=args.fault_link, at_us=args.fault_at_us,
+            down_us=args.fault_down_us)).compile()
+        console.info(f"fault: {args.fault_link} down at "
+                     f"{args.fault_at_us:.0f} us for "
+                     f"{args.fault_down_us:.0f} us")
     console.info(f"running traced {args.nodes}-node alltoall "
                  f"(scheme={args.scheme}, loss={args.loss:.3f}, "
                  f"seed={args.seed}) ...")
     net, recorder = run_traced_alltoall(
         nodes=args.nodes, loss=args.loss, seed=args.seed,
         message_bytes=args.bytes, scheme=args.scheme,
-        retain_all=args.perfetto is not None)
+        retain_all=args.perfetto is not None, faults=faults)
     console.info(f"{recorder.total_events()} trace events recorded, "
                  f"{net.sim.executed} sim events executed")
     audit = build_audit(recorder.records(NACK))
@@ -405,14 +459,24 @@ def cmd_trace(args: argparse.Namespace, console: Console) -> int:
         path = recorder.dump_flight(args.dump, reason="cli")
         console.out(f"wrote flight dump {path}")
     summary = audit.summary()
-    console.result({
+    doc = {
         "report": "nacks",
         "params": {"nodes": args.nodes, "loss": args.loss,
                    "seed": args.seed, "bytes": args.bytes,
                    "scheme": args.scheme},
         "metrics": net.metrics.summary(),
         "audit": summary,
-    })
+    }
+    if faults is not None:
+        from repro.obs.record import FAULT
+        injector = net.fault_injector
+        doc["faults"] = {
+            "spec": faults["name"],
+            "scheduled": len(faults["events"]),
+            "applied": len(injector.applied) if injector else 0,
+            "recorded": len(recorder.records(FAULT)),
+        }
+    console.result(doc)
     return 0 if summary["unexplained"] == 0 else 1
 
 
@@ -454,6 +518,89 @@ def cmd_profile(args: argparse.Namespace, console: Console) -> int:
     return 0
 
 
+def _faults_spec_from_args(args: argparse.Namespace) -> dict:
+    from repro.faults.spec import compiled_spec, load_scenario
+    if args.spec:
+        return compiled_spec(load_scenario(args.spec))
+    from repro.faults.scenarios import builtin
+    return compiled_spec(builtin(args.name))
+
+
+def cmd_faults(args: argparse.Namespace, console: Console) -> int:
+    from repro.faults.spec import ScenarioError
+
+    if args.faults_command == "list":
+        from repro.faults.scenarios import BUILTIN_SCENARIOS
+        rows = []
+        for name in sorted(BUILTIN_SCENARIOS):
+            spec = BUILTIN_SCENARIOS[name]().compile()
+            rows.append((name, len(spec["events"]),
+                         f"{max((e['at_us'] for e in spec['events']), default=0):.0f}"))
+        console.out(format_table(["scenario", "events", "span (us)"],
+                                 rows))
+        console.result({"scenarios": sorted(BUILTIN_SCENARIOS)})
+        return 0
+
+    try:
+        spec = _faults_spec_from_args(args)
+    except (ScenarioError, LookupError) as exc:
+        console.out(f"error: {exc}")
+        console.result({"error": str(exc)})
+        return 2
+
+    if args.faults_command == "show":
+        import json as _json
+        console.out(_json.dumps(spec, indent=2))
+        console.result(spec)
+        return 0
+
+    # run
+    from repro.faults.campaign import run_campaign
+    seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+    console.info(f"campaign {spec['name']!r}: {len(spec['events'])} "
+                 f"fault events x {len(seeds)} seeds "
+                 f"(workers={args.workers})")
+    summary = run_campaign(spec, seeds, workers=args.workers,
+                           timeout_s=args.timeout, retries=args.retries,
+                           checkpoint=args.resume,
+                           progress=console.progress_printer()
+                           if args.progress else None)
+    rows = []
+    for cell in summary["cells"]:
+        goodput = cell["goodput"]
+        rows.append((
+            cell["seed"],
+            "yes" if cell["completed"] else "NO",
+            cell["tail_stretch"] if cell["tail_stretch"] is not None
+            else "-",
+            goodput["dip_frac"] if goodput["dip_frac"] is not None
+            else "-",
+            goodput["recovery_ns"] if goodput["recovery_ns"] is not None
+            else "-",
+            cell["nacks"]["unexplained"],
+        ))
+    console.out(format_table(
+        ["seed", "done", "stretch", "dip", "recovery_ns",
+         "unexplained"], rows))
+    for failure in summary["failures"]:
+        console.out(f"FAILED seed {failure['seed']}: {failure['error']}")
+    for problem in summary["validation_problems"]:
+        console.out(f"INVALID: {problem}")
+    if "aggregate" in summary:
+        agg = summary["aggregate"]
+        console.out(f"{agg['completed']}/{agg['cells']} cells completed; "
+                    f"unexplained NACK decisions: "
+                    f"{agg['unexplained_nacks']}")
+    if args.out:
+        from repro.harness.report import write_json
+        path = write_json(args.out, summary)
+        console.out(f"wrote {path}")
+    console.result(summary)
+    ok = (not summary["failures"]
+          and not summary["validation_problems"])
+    return 0 if ok else 1
+
+
 COMMANDS = {
     "memory": cmd_memory,
     "bench": cmd_bench,
@@ -464,6 +611,7 @@ COMMANDS = {
     "pathmap": cmd_pathmap,
     "trace": cmd_trace,
     "profile": cmd_profile,
+    "faults": cmd_faults,
 }
 
 

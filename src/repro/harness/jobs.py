@@ -179,10 +179,16 @@ def _exec_bench(params: dict, seed: int) -> dict:
     return asdict(result)
 
 
+def _exec_fault_cell(params: dict, seed: int) -> dict:
+    from repro.faults.campaign import run_cell
+    return run_cell(params, seed)
+
+
 JOB_KINDS: dict[str, Callable[[dict, int], dict]] = {
     "collective": _exec_collective,
     "callable": _exec_callable,
     "bench": _exec_bench,
+    "fault_cell": _exec_fault_cell,
 }
 
 
@@ -196,30 +202,51 @@ def execute_spec(spec: JobSpec) -> dict:
     return _json_roundtrip(executor(spec.params, spec.seed))
 
 
-def _dump_flight_on_crash(reason: str) -> Optional[str]:
+def _dump_flight_on_crash(reason: str,
+                          tag: Optional[str] = None) -> Optional[str]:
     """Best-effort flight-recorder dump for a crashing job.
 
     If the job ran a traced simulation, its recorder registered itself as
     the active one; dumping its ring here is the only chance to preserve
-    the final events before the worker process dies.  Never raises — the
-    original job error must win.
+    the final events before the worker process dies.  ``tag`` (the job's
+    spec-hash) lands in the dump filename, so concurrently-failing
+    workers can never collide on a path.  Never raises — the original
+    job error must win.
     """
     try:
         from repro.obs.record import dump_active_flight
-        path = dump_active_flight(reason)
+        path = dump_active_flight(reason, tag=tag)
         return None if path is None else str(path)
     except Exception:
         return None
 
 
+#: ``module:qualname`` of a deterministic worker fault hook.  When set,
+#: every subprocess worker calls ``hook(spec_doc)`` before executing its
+#: job — the hook simulating an infrastructure fault (``os._exit`` for a
+#: crash, ``time.sleep`` for a hang) based solely on the spec, which is
+#: how the retry-with-backoff path gets injected, reproducible coverage
+#: instead of ad-hoc monkeypatching.
+FAULT_HOOK_ENV = "REPRO_JOBS_FAULT_HOOK"
+
+
+def _run_fault_hook(spec_doc: dict) -> None:
+    hook = os.environ.get(FAULT_HOOK_ENV)
+    if not hook:
+        return
+    resolve_target(hook)(spec_doc)
+
+
 def _subprocess_entry(conn, spec_doc: dict) -> None:
     """Worker-side entry point: run the job, ship payload or error."""
     try:
+        _run_fault_hook(spec_doc)
         payload = execute_spec(JobSpec.from_dict(spec_doc))
         conn.send({"ok": True, "result": payload})
     except BaseException as exc:  # noqa: BLE001 - must cross the pipe
         error = f"{type(exc).__name__}: {exc}"
-        dump = _dump_flight_on_crash("job-crash")
+        dump = _dump_flight_on_crash(
+            "job-crash", tag=JobSpec.from_dict(spec_doc).spec_hash)
         if dump is not None:
             error += f" [flight recorder: {dump}]"
         try:
@@ -471,7 +498,8 @@ class JobRunner:
                     self.counters.retries += 1
                     continue
                 error = f"{type(exc).__name__}: {exc}"
-                dump = _dump_flight_on_crash("job-failure")
+                dump = _dump_flight_on_crash("job-failure",
+                                             tag=attempt.spec.spec_hash)
                 if dump is not None:
                     error += f" [flight recorder: {dump}]"
                 return JobOutcome(

@@ -274,6 +274,10 @@ class Network:
     # ------------------------------------------------------------------
     # Link failure handling (§6)
     # ------------------------------------------------------------------
+    def find_link(self, name: str):
+        """Cable lookup by ``"a:b"`` name (either ordering)."""
+        return self.topology.link(name)
+
     def fail_link(self, switch_a: str, switch_b: str) -> None:
         """Fail the inter-switch link between two named switches.
 
@@ -284,34 +288,51 @@ class Network:
         disables Themis and reverts to plain ECMP.
         """
         by_name = {s.name: s for s in self.topology.switches}
+        for name in (switch_a, switch_b):
+            if name not in by_name:
+                raise LookupError(f"unknown switch {name!r}")
         try:
-            a, b = by_name[switch_a], by_name[switch_b]
-        except KeyError as exc:
-            raise LookupError(f"unknown switch {exc}") from exc
-        failed = 0
-        for src, dst in ((a, b), (b, a)):
-            for port in src.ports:
-                if port.peer is dst and port.up:
-                    port.up = False
-                    failed += 1
-        if failed == 0:
+            link = self.topology.link(f"{switch_a}:{switch_b}")
+        except LookupError:
+            link = None
+        if link is None or not link.up:
             raise LookupError(f"no live link {switch_a} <-> {switch_b}")
-        # Re-converge routing over the surviving graph.
+        link.set_up(False)
+        self.reconverge_routes(require_connected=True)
+        self._set_themis_enabled(False)
+
+    def heal_links(self) -> None:
+        """Bring every failed link back and re-enable Themis."""
+        for link in self.topology.links:
+            link.restore()
+        for switch in self.topology.switches:
+            switch.set_active(True)
         self.topology.build_routes()
+        self._set_themis_enabled(True)
+
+    def reconverge_routes(self, *, require_connected: bool = False) -> None:
+        """Rebuild equal-cost routes over the live graph.
+
+        With ``require_connected`` the rebuild raises ``RuntimeError``
+        when any ToR has lost every route to some NIC (the fabric is
+        partitioned) — the behaviour :meth:`fail_link` has always had.
+        Scheduled fault events reconverge without the check: a transient
+        partition mid-scenario is legitimate, and traffic through it
+        surfaces as accounted drops, not as a harness error.
+        """
+        self.topology.build_routes()
+        if not require_connected:
+            return
         for tor in self.topology.tors:
             for nic_id in range(self.topology.num_nics):
                 if nic_id not in tor.routes:
                     raise RuntimeError(
                         f"{tor.name} lost all routes to NIC {nic_id}")
-        self._set_themis_enabled(False)
 
-    def heal_links(self) -> None:
-        """Bring every failed link back and re-enable Themis."""
-        for switch in self.topology.switches:
-            for port in switch.ports:
-                port.up = True
-        self.topology.build_routes()
-        self._set_themis_enabled(True)
+    def fabric_intact(self) -> bool:
+        """Is every cable healthy and every switch forwarding?"""
+        return (all(link.up for link in self.topology.links)
+                and all(s.active for s in self.topology.switches))
 
     def _set_themis_enabled(self, enabled: bool) -> None:
         for tor in self.topology.tors:

@@ -36,6 +36,9 @@ def build_traced_alltoall(*, nodes: int = 32, loss: float = 0.01,
                           seed: int = 7, message_bytes: int = 20_000,
                           scheme: str = "themis",
                           recorder: Optional[Recorder] = None,
+                          faults: Optional[dict] = None,
+                          watch_flows: bool = False,
+                          trace_window_ns: Optional[int] = None,
                           ) -> tuple[Network, Recorder]:
     """A lossy alltoall fabric with a recorder threaded through it.
 
@@ -43,6 +46,13 @@ def build_traced_alltoall(*, nodes: int = 32, loss: float = 0.01,
     recorder keeps every category in the flight ring and retains the
     NACK category in full for the causality audit; pass your own to
     retain more (e.g. everything, for a Perfetto export).
+
+    ``faults`` takes a compiled fault-scenario spec
+    (:func:`repro.faults.spec.compiled_spec` output or anything it
+    accepts); the installed :class:`~repro.faults.injector.FaultInjector`
+    is exposed as ``net.fault_injector``.  ``watch_flows`` enables
+    per-flow throughput meters on every alltoall pair — the campaign
+    goodput-dip metric needs them.
     """
     if nodes < 4 or nodes % 2:
         raise ValueError("nodes must be even and >= 4")
@@ -56,6 +66,8 @@ def build_traced_alltoall(*, nodes: int = 32, loss: float = 0.01,
     net = Network(NetworkConfig(topology=topo, scheme=scheme,
                                 transport="nic_sr", seed=seed),
                   recorder=recorder)
+    if trace_window_ns is not None:
+        net.metrics.trace_window_ns = trace_window_ns
     if loss > 0.0:
         loss_rng = net.rng.fork("trace-loss")
         for tor in net.topology.tors:
@@ -66,8 +78,16 @@ def build_traced_alltoall(*, nodes: int = 32, loss: float = 0.01,
     for src in range(nodes):
         for dst in range(nodes):
             if src != dst:
+                if watch_flows:
+                    net.watch_flow(src, dst)
                 net.post_message(src, dst, message_bytes,
                                  on_receiver_done=done)
+    net.fault_injector = None
+    if faults is not None:
+        from repro.faults.injector import FaultInjector
+        injector = FaultInjector(net, faults)
+        injector.install()
+        net.fault_injector = injector
     return net, recorder
 
 
@@ -76,13 +96,15 @@ def run_traced_alltoall(*, nodes: int = 32, loss: float = 0.01,
                         scheme: str = "themis",
                         retain_all: bool = False,
                         ring_capacity: int = 4096,
+                        faults: Optional[dict] = None,
                         ) -> tuple[Network, Recorder]:
     """Build and run the traced alltoall; returns (network, recorder)."""
-    retain = set(ALL_CATEGORIES) if retain_all else {NACK}
+    from repro.obs.record import FAULT
+    retain = set(ALL_CATEGORIES) if retain_all else {NACK, FAULT}
     recorder = Recorder(ring_capacity=ring_capacity, retain=retain)
     net, recorder = build_traced_alltoall(
         nodes=nodes, loss=loss, seed=seed, message_bytes=message_bytes,
-        scheme=scheme, recorder=recorder)
+        scheme=scheme, recorder=recorder, faults=faults)
     net.run(until_ns=TRACE_DEADLINE_NS)
     net.stop()
     return net, recorder

@@ -62,6 +62,7 @@ class Port:
 
     __slots__ = (
         "sim", "owner", "bandwidth_bps", "delay_ns", "_ns_per_byte",
+        "nominal_bandwidth_bps", "nominal_delay_ns",
         "name", "index", "peer", "_peer_recv", "_fire", "_control",
         "_data", "queued_bytes",
         "_free_at", "_pump_armed", "_data_paused", "policy", "loss_rate",
@@ -76,6 +77,10 @@ class Port:
         self.owner = owner
         self.bandwidth_bps = float(bandwidth_bps)
         self.delay_ns = int(delay_ns)
+        # Healthy-link values, restored when an injected degradation or
+        # latency shift is lifted.
+        self.nominal_bandwidth_bps = self.bandwidth_bps
+        self.nominal_delay_ns = self.delay_ns
         # Serialization cost per wire byte; folded into one multiply on
         # the hot path instead of per-packet float division.
         self._ns_per_byte = 8.0 * SEC / self.bandwidth_bps
@@ -242,6 +247,48 @@ class Port:
             raise ValueError("loss rate must be in [0, 1]")
         self.loss_rate = rate
         self._loss_rng = rng
+
+    def set_bandwidth(self, bandwidth_bps: float) -> None:
+        """Change the serialization rate (fault injection: degradation).
+
+        Packets already mid-serialization keep their old departure time;
+        only packets popped after the change see the new rate, which is
+        how a real PHY renegotiation behaves.
+        """
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth_bps = float(bandwidth_bps)
+        self._ns_per_byte = 8.0 * SEC / self.bandwidth_bps
+
+    def set_delay(self, delay_ns: int) -> None:
+        """Change the propagation delay (fault injection: latency shift).
+
+        In-flight deliveries keep their scheduled arrival; a shrinking
+        delay can therefore never reorder one direction of a link.
+        """
+        if delay_ns < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay_ns = int(delay_ns)
+
+    def flush(self, reason: str = "flush") -> int:
+        """Drop every queued packet (fault injection: buffer drain).
+
+        Data packets pass through ``policy.on_dequeue`` before the drop so
+        shared-buffer occupancy and PFC ingress credit stay balanced —
+        the invariant suite checks ``buffer.used_bytes == 0`` after runs.
+        Returns the number of packets flushed.
+        """
+        flushed = 0
+        while self._control:
+            self._drop(self._control.popleft(), reason)
+            flushed += 1
+        while self._data:
+            packet = self._data.popleft()
+            self.queued_bytes -= packet.wire_bytes
+            self.policy.on_dequeue(self, packet)
+            self._drop(packet, reason)
+            flushed += 1
+        return flushed
 
     @property
     def backlog_packets(self) -> int:

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Optional
 
+from repro.net.link import Link
 from repro.net.node import Device
 from repro.net.port import Port
 from repro.sim.engine import Simulator, US
@@ -43,6 +44,9 @@ class Topology:
         self.tor_down_port: dict[int, Port] = {}
         #: switch -> [(egress port, neighbor switch)]
         self._adjacency: dict[Switch, list[tuple[Port, Switch]]] = {}
+        #: every cable in wiring order: fabric links then host links
+        self.links: list[Link] = []
+        self._link_by_name: dict[str, Link] = {}
         self._routes_built = False
 
     # ------------------------------------------------------------------
@@ -64,6 +68,8 @@ class Topology:
         port_ba.connect(a)
         self._adjacency[a].append((port_ab, b))
         self._adjacency[b].append((port_ba, a))
+        self._register_link(Link(a.name, b.name, port_ab, port_ba,
+                                 kind="fabric"))
 
     def register_nic_slot(self, nic_id: int, tor: Switch,
                           bandwidth_bps: float, delay_ns: int) -> None:
@@ -86,7 +92,29 @@ class Topology:
         self.tor_down_port[nic_id] = down
         up = Port(self.sim, nic, bandwidth_bps=bandwidth, delay_ns=delay)
         up.connect(tor)
+        self._register_link(Link(tor.name, nic.name, down, up,
+                                 kind="host"))
         return up
+
+    def _register_link(self, link: Link) -> None:
+        self.links.append(link)
+        self._link_by_name[link.name] = link
+
+    def link(self, name: str) -> Link:
+        """Look up a cable by ``"a:b"`` name; either ordering works."""
+        found = self._link_by_name.get(name)
+        if found is None and ":" in name:
+            a, b = name.split(":", 1)
+            found = self._link_by_name.get(f"{b}:{a}")
+        if found is None:
+            raise LookupError(f"no link named {name!r} "
+                              f"(known: {sorted(self._link_by_name)})")
+        return found
+
+    def links_of(self, device_name: str) -> list[Link]:
+        """Every cable incident to the named device (switch or NIC)."""
+        return [ln for ln in self.links
+                if device_name in (ln.a_name, ln.b_name)]
 
     # ------------------------------------------------------------------
     # Routing

@@ -16,16 +16,16 @@ low-level packages can never create an import cycle.
 
 from repro.obs.console import Console
 from repro.obs.profile import Profiler
-from repro.obs.record import (ALL_CATEGORIES, CC, DROP, ECN, NACK, PACKET,
-                              PFC, QP, QUEUE, InvariantError, Recorder,
-                              active_recorder, check_invariant,
+from repro.obs.record import (ALL_CATEGORIES, CC, DROP, ECN, FAULT, NACK,
+                              PACKET, PFC, QP, QUEUE, InvariantError,
+                              Recorder, active_recorder, check_invariant,
                               dump_active_flight, set_active)
 from repro.obs.timeseries import (RateMeter, TimeSeries, WindowedCounter,
                                   summarize)
 
 __all__ = [
     "ALL_CATEGORIES", "PACKET", "QUEUE", "ECN", "DROP", "NACK", "PFC",
-    "QP", "CC",
+    "QP", "CC", "FAULT",
     "Recorder", "InvariantError", "check_invariant", "set_active",
     "active_recorder", "dump_active_flight",
     "Console", "Profiler",

@@ -23,6 +23,7 @@ future packet).
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import weakref
@@ -44,8 +45,10 @@ NACK = "nack"        # NACK emit / Themis-D classify / compensate lifecycle
 PFC = "pfc"          # PFC pause / resume frames
 QP = "qp"            # sender QP state changes (rewind, rto, complete)
 CC = "cc"            # congestion-control rate updates
+FAULT = "fault"      # injected network failures (link down, reboot, storm)
 
-ALL_CATEGORIES: tuple[str, ...] = (PACKET, QUEUE, ECN, DROP, NACK, PFC, QP, CC)
+ALL_CATEGORIES: tuple[str, ...] = (PACKET, QUEUE, ECN, DROP, NACK, PFC, QP,
+                                   CC, FAULT)
 
 #: Default flight-ring capacity: enough to reconstruct the last few
 #: microseconds of a busy fabric without holding the whole run in memory.
@@ -198,6 +201,18 @@ class Recorder:
     def cc_rate(self, t: int, loc: str, rate_bps: float) -> None:
         self._emit(t, CC, "cc_rate", loc, {"rate_bps": rate_bps})
 
+    def fault(self, t: int, loc: str, action: str, **detail) -> None:
+        """An injected failure (or its recovery) took effect at *loc*.
+
+        ``action`` names the transition (``link_down``, ``link_up``,
+        ``degrade``, ``latency_shift``, ``reboot``, ``recover``,
+        ``pfc_storm``, ``storm_end``, ``reconverge``, ...); scalar detail
+        fields carry the parameters.  Faults always leave a trace — the
+        audit relies on these events to explain every compensation
+        decision made around a path failure.
+        """
+        self._emit(t, FAULT, f"fault_{action}", loc, dict(detail))
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -271,31 +286,47 @@ def active_recorder() -> Optional[Recorder]:
     return _active()
 
 
-def _default_dump_path(reason: str) -> Path:
+# Process-local monotonic sequence: pid + wall-clock ms alone collide when
+# one process dumps twice within a millisecond (e.g. in-proc job retries),
+# and concurrently-failing job workers forked from the same parent can even
+# share a pid namespace on some mp start methods.  pid + seq + optional
+# caller tag (job spec-hash) makes every dump name unique.
+_dump_seq = itertools.count()
+
+
+def _default_dump_path(reason: str, tag: str | None = None) -> Path:
     import time
 
     directory = Path(os.environ.get(DUMP_DIR_ENV, DEFAULT_DUMP_DIR))
     slug = "".join(c if c.isalnum() or c in "-_" else "-" for c in reason)
     stamp = int(time.time() * 1000)
-    return directory / f"flight-{slug}-pid{os.getpid()}-{stamp}.jsonl"
+    parts = [f"flight-{slug}"]
+    if tag:
+        safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in tag)
+        parts.append(safe)
+    parts.append(f"pid{os.getpid()}-{stamp}-{next(_dump_seq)}")
+    return directory / ("-".join(parts) + ".jsonl")
 
 
 def dump_active_flight(reason: str,
-                       directory: str | Path | None = None,
+                       directory: str | Path | None = None, *,
+                       tag: str | None = None,
                        ) -> Optional[Path]:
     """Dump the active recorder's flight ring; best-effort, never raises.
 
     Returns the dump path, or ``None`` when no recorder is active or the
-    write failed (crash paths must not mask the original error).
+    write failed (crash paths must not mask the original error).  *tag*
+    (e.g. a job spec-hash) is woven into the filename so concurrent
+    worker failures never race to the same dump file.
     """
     rec = active_recorder()
     if rec is None:
         return None
     try:
         if directory is None:
-            path = _default_dump_path(reason)
+            path = _default_dump_path(reason, tag)
         else:
-            path = Path(directory) / _default_dump_path(reason).name
+            path = Path(directory) / _default_dump_path(reason, tag).name
         return rec.dump_flight(path, reason=reason)
     except Exception:  # pragma: no cover - defensive
         return None

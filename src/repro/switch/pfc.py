@@ -59,6 +59,9 @@ class PfcController:
         self.config = config
         self._ingress_bytes: dict[Port, int] = {}
         self._paused: set[Port] = set()
+        #: Ports held paused by an injected PFC storm (repro.faults):
+        #: occupancy-driven XON must not lift these until the storm ends.
+        self._storm_paused: set[Port] = set()
         #: pkt_id -> upstream port, for crediting on dequeue.
         self._origin: dict[int, Port] = {}
         self.pauses_sent = 0
@@ -94,6 +97,8 @@ class PfcController:
             - packet.wire_bytes
         self._ingress_bytes[in_port] = occupancy
         if occupancy <= self.config.xon_bytes and in_port in self._paused:
+            if in_port in self._storm_paused:
+                return  # storm holds the pause regardless of occupancy
             self._paused.discard(in_port)
             self.resumes_sent += 1
             if self.rec is not None:
@@ -101,9 +106,44 @@ class PfcController:
                              occupancy)
             self.sim.schedule(in_port.delay_ns, in_port.resume_data)
 
+    # ------------------------------------------------------------------
+    # Injected PFC storms (repro.faults): a malfunctioning neighbour
+    # spews PAUSE frames unconditionally, freezing the data class on the
+    # victim ports until the storm subsides.
+    # ------------------------------------------------------------------
+    def inject_storm_pause(self, port: Port) -> None:
+        """Hold ``port`` paused regardless of ingress occupancy."""
+        self._storm_paused.add(port)
+        if port not in self._paused:
+            self._paused.add(port)
+            self.pauses_sent += 1
+            if self.rec is not None:
+                self.rec.pfc(self.sim.now, port.name, "storm_pause",
+                             self._ingress_bytes.get(port, 0))
+            self.sim.schedule(port.delay_ns, port.pause_data)
+
+    def release_storm_pause(self, port: Port) -> None:
+        """End the storm hold; resume unless occupancy still demands
+        the pause (the normal XOFF/XON machinery takes back over)."""
+        self._storm_paused.discard(port)
+        if port not in self._paused:
+            return
+        if self._ingress_bytes.get(port, 0) > self.config.xon_bytes:
+            return  # legitimately congested: leave the pause standing
+        self._paused.discard(port)
+        self.resumes_sent += 1
+        if self.rec is not None:
+            self.rec.pfc(self.sim.now, port.name, "storm_resume",
+                         self._ingress_bytes.get(port, 0))
+        self.sim.schedule(port.delay_ns, port.resume_data)
+
     def ingress_occupancy(self, port: Port) -> int:
         return self._ingress_bytes.get(port, 0)
 
     @property
     def paused_ports(self) -> set[Port]:
         return set(self._paused)
+
+    @property
+    def storm_paused_ports(self) -> set[Port]:
+        return set(self._storm_paused)

@@ -51,6 +51,15 @@ class Middleware:
         """Override egress selection for data packets; ``None`` defers."""
         return None
 
+    def attach(self, switch: "Switch") -> None:
+        """Called when installed on a switch; default records the host.
+
+        Gives middleware access to ``switch.sim``/``switch.name`` for
+        emitting trace events outside the packet path (e.g. flushing
+        armed state when a fault disables the stage).
+        """
+        self.switch = switch
+
     def disable(self) -> None:
         """Administratively bypass this middleware (no-op by default)."""
 
@@ -102,6 +111,9 @@ class Switch(Device):
         self.routes: dict[int, list[Port]] = {}
         self.down_nics: set[int] = set()
         self.middleware: list[Middleware] = []
+        #: Administrative liveness: a rebooting switch blackholes every
+        #: arriving packet (with drop accounting) until it comes back.
+        self.active = True
         #: Optional PFC state machine (see repro.switch.pfc); installed
         #: by the harness when the fabric runs lossless.
         self.pfc = None
@@ -128,11 +140,15 @@ class Switch(Device):
 
     def add_middleware(self, mw: Middleware) -> None:
         self.middleware.append(mw)
+        mw.attach(self)
 
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, in_port: Optional[Port]) -> None:
         # forward() is inlined below — this runs once per packet per hop;
         # keep the two bodies in sync.
+        if not self.active:
+            self._drop_inactive(packet)
+            return
         if self.rec is not None:
             self.rec.packet_hop(self.sim.now, self.name, packet)
         if self.pfc is not None:
@@ -194,6 +210,36 @@ class Switch(Device):
         return self.lb.select(self, packet, candidates)
 
     # ------------------------------------------------------------------
+    # Fault-injection surface (driven by repro.faults)
+    # ------------------------------------------------------------------
+    def set_active(self, active: bool) -> None:
+        """Raise/lower the whole forwarding plane (switch reboot)."""
+        self.active = active
+        if active:
+            # Fresh-boot state: ASIC hash memo does not survive power
+            # cycles, and any PFC pauses it asserted are gone.
+            self._ecmp_cache.clear()
+
+    def drain_buffers(self, reason: str = "reboot_drain") -> int:
+        """Flush every egress queue with full accounting; returns count.
+
+        Each data packet passes through the queue policy's dequeue hook,
+        so shared-buffer occupancy and PFC ingress credit drain to zero —
+        the post-run ``buffer.used_bytes == 0`` invariant must survive a
+        mid-run reboot.
+        """
+        flushed = 0
+        for port in self.ports:
+            flushed += port.flush(reason)
+        return flushed
+
+    def _drop_inactive(self, packet: Packet) -> None:
+        """Account a packet blackholed by an inactive (rebooting) switch."""
+        if self.rec is not None:
+            self.rec.packet_hop(self.sim.now, self.name, packet)
+        if self.metrics is not None:
+            self.metrics.on_drop(packet, self, None)
+
     def _record_drop(self, packet: Packet, port: Port) -> None:
         if self.metrics is not None:
             self.metrics.on_drop(packet, self, port)

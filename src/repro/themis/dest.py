@@ -52,8 +52,31 @@ class ThemisDest(Middleware):
     def disable(self) -> None:
         """Link-failure fallback (§6): pass every packet through
         untouched — commodity NACK behaviour returns, matching the
-        ECMP-mode source side."""
+        ECMP-mode source side.
+
+        Armed compensation registers are explicitly cancelled (and
+        traced) before the stage goes dark: a ``(BePSN, Valid)`` pair
+        left dangling across a path failure would otherwise be silent
+        state corruption — the audit could never explain what became of
+        the armed decision.  The RNIC's own timeout still recovers the
+        loss, exactly as in the paper's §6 fallback.
+        """
+        if self.enabled:
+            self._flush_armed("path_failure_disable")
         self.enabled = False
+
+    def _flush_armed(self, reason: str) -> None:
+        """Cancel every armed compensation register, with trace events."""
+        switch = getattr(self, "switch", None)
+        for entry in self.table.entries():
+            if not entry.valid:
+                continue
+            entry.valid = False
+            self.metrics.themis.compensation_cancelled += 1
+            if self.rec is not None and switch is not None:
+                self.rec.nack_cancel(switch.sim.now, switch.name,
+                                     entry.flow, entry.blocked_epsn,
+                                     reason)
 
     def enable(self) -> None:
         """Re-arm after the fabric heals; stale per-QP state is dropped

@@ -164,3 +164,59 @@ class TestProfileCommand:
             assert doc["total_ms"] > 0
             assert {"handler", "calls", "total_ms", "mean_us",
                     "share"} <= set(doc["handlers"][0])
+
+
+class TestFaultsCommand:
+    def test_list_names_builtins(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "link-flap-smoke" in out
+        assert "spine-reboot" in out
+
+    def test_show_builtin_spec(self, capsys):
+        import json
+        assert main(["--json", "faults", "show", "--name",
+                     "link-flap-smoke"]) == 0
+        spec = json.loads(capsys.readouterr().out)
+        assert spec["name"] == "link-flap-smoke"
+        assert [e["kind"] for e in spec["events"]] == ["link_down",
+                                                       "link_up"]
+
+    def test_show_unknown_name_fails(self, capsys):
+        assert main(["faults", "show", "--name", "nope"]) == 2
+        assert "no builtin scenario" in capsys.readouterr().out
+
+    def test_run_campaign_from_spec_file(self, tmp_path, capsys):
+        import json
+        spec_file = tmp_path / "flap.json"
+        spec_file.write_text(json.dumps({
+            "name": "cli-flap",
+            "workload": {"nodes": 8, "message_bytes": 20000},
+            "layers": [{"kind": "link_flap", "link": "tor0:spine0",
+                        "at_us": 5, "down_us": 10}],
+        }))
+        out_file = tmp_path / "campaign.json"
+        rc = main(["--json", "faults", "run", "--spec", str(spec_file),
+                   "--seeds", "1", "--out", str(out_file)])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "cli-flap"
+        assert payload["aggregate"]["completed"] == 1
+        assert payload["aggregate"]["unexplained_nacks"] == 0
+        written = json.loads(out_file.read_text())
+        assert written["cells"][0]["faults"]["applied"] == 2
+
+    def test_run_requires_spec_or_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "run"])
+
+    def test_trace_with_fault_link_flag(self, capsys):
+        import json
+        rc = main(["--json", "trace", "nacks", "--nodes", "8",
+                   "--bytes", "200000", "--fault-link", "tor0:spine0",
+                   "--fault-at-us", "40", "--fault-down-us", "80"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["audit"]["unexplained"] == 0
+        assert payload["faults"]["applied"] == 2
+        assert payload["faults"]["recorded"] >= 2

@@ -283,3 +283,67 @@ class TestReplicationIntegration:
     def test_lambda_falls_back_to_serial(self):
         stat = replicate(lambda s: float(s), seeds=(4, 5), workers=4)
         assert stat.values == (4.0, 5.0)
+
+
+# ----------------------------------------------------------------------
+# Injected infrastructure faults (REPRO_JOBS_FAULT_HOOK)
+# ----------------------------------------------------------------------
+def fault_hook_crash_once(spec_doc):
+    """Deterministic infrastructure fault: hard-kill the first worker
+    that runs each spec (marker file keyed by spec params)."""
+    marker = spec_doc["params"]["kwargs"]["marker"]
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("hook fired\n")
+        os._exit(3)
+
+
+def fault_hook_always_crash(spec_doc):
+    os._exit(3)
+
+
+def marked_square(seed, marker=""):
+    return float(seed * seed)
+
+
+class TestInjectedFaultHook:
+    """Satellite: retry-with-backoff exercised via the deterministic
+    worker fault hook, not ad-hoc monkeypatching of runner internals."""
+
+    def test_injected_crash_is_retried_to_success(self, tmp_path,
+                                                  monkeypatch):
+        from repro.harness.jobs import FAULT_HOOK_ENV
+        monkeypatch.setenv(FAULT_HOOK_ENV,
+                           "tests.harness.test_jobs:fault_hook_crash_once")
+        marker = str(tmp_path / "hook.flag")
+        counters = JobCounters()
+        outcomes = run_jobs(
+            [_callable_spec(marked_square, 6, marker=marker)],
+            workers=2, retries=2, backoff_s=0.01, counters=counters)
+        (outcome,) = outcomes.values()
+        assert outcome.ok
+        assert outcome.result["value"] == 36.0
+        assert outcome.attempts == 2
+        assert counters.crashes == 1
+        assert counters.retries == 1
+
+    def test_injected_crash_exhausts_retries(self, monkeypatch):
+        from repro.harness.jobs import FAULT_HOOK_ENV
+        monkeypatch.setenv(
+            FAULT_HOOK_ENV,
+            "tests.harness.test_jobs:fault_hook_always_crash")
+        counters = JobCounters()
+        outcomes = run_jobs([_callable_spec(square, 2)],
+                            workers=2, retries=1, backoff_s=0.01,
+                            counters=counters)
+        (outcome,) = outcomes.values()
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert counters.crashes == 2
+
+    def test_hook_is_inert_when_unset(self, monkeypatch):
+        from repro.harness.jobs import FAULT_HOOK_ENV
+        monkeypatch.delenv(FAULT_HOOK_ENV, raising=False)
+        outcomes = run_jobs([_callable_spec(square, 3)], workers=2)
+        (outcome,) = outcomes.values()
+        assert outcome.ok and outcome.attempts == 1

@@ -108,3 +108,60 @@ class TestJobWorkerCrashDump:
         header, events = read_dump(dump_path)
         assert header["reason"] == "job-crash"
         assert len(events) == 5
+
+
+class TestDumpCollisionSafety:
+    """Concurrent (or same-millisecond) failures must never race to the
+    same dump file: pid + monotonic sequence + caller tag disambiguate."""
+
+    def test_rapid_dumps_get_distinct_paths(self, tmp_path, monkeypatch):
+        from repro.obs.record import dump_active_flight
+
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        rec = Recorder()
+        rec.queue_sample(1, "a", "enq", 0, 0)
+        set_active(rec)
+        try:
+            paths = [dump_active_flight("collide") for _ in range(5)]
+        finally:
+            set_active(None)
+        assert all(p is not None for p in paths)
+        assert len({str(p) for p in paths}) == 5
+
+    def test_tag_is_woven_into_filename(self, tmp_path, monkeypatch):
+        from repro.obs.record import dump_active_flight
+
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        rec = Recorder()
+        rec.queue_sample(1, "a", "enq", 0, 0)
+        set_active(rec)
+        try:
+            path = dump_active_flight("job-crash", tag="cafe0123")
+        finally:
+            set_active(None)
+        assert "cafe0123" in path.name
+
+    def test_parallel_worker_crashes_write_distinct_dumps(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        runner = JobRunner(workers=3, isolation="subprocess", retries=0,
+                           mp_method="spawn")
+        specs = [JobSpec(
+            kind="callable", seed=s,
+            params={"target": "tests.obs.test_crash_dump:_traced_boom"})
+            for s in range(3)]
+        outcomes = runner.run(specs)
+        dumps = []
+        for outcome in outcomes.values():
+            assert outcome.status == "failed"
+            assert "[flight recorder: " in outcome.error
+            dumps.append(
+                outcome.error.rsplit("[flight recorder: ", 1)[1][:-1])
+        assert len(set(dumps)) == 3
+        for dump, spec in zip(dumps, specs):
+            header, _ = read_dump(dump)
+            assert header["reason"] == "job-crash"
+        # Each dump is tagged with its job's spec-hash.
+        hashes = {spec.spec_hash for spec in specs}
+        for dump in dumps:
+            assert any(h in dump for h in hashes)
