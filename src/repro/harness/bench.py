@@ -108,7 +108,10 @@ def _build_incast(quick: bool, sim, recorder=None) -> Network:
     net = Network(NetworkConfig(topology=topo, scheme="rps",
                                 transport="nic_sr", seed=7), sim=sim,
                   recorder=recorder)
-    nbytes = _scale(quick, 200_000)
+    # Sized so the full-mode run takes >0.5 s of wall time — short runs
+    # were dominated by per-run constant costs and timer jitter, making
+    # the regression gate noisy (~20k events measured in ~60 ms).
+    nbytes = _scale(quick, 2_000_000)
     done = _stop_when_done(net, 15)
     for src in range(1, 16):
         net.post_message(src, 0, nbytes, on_receiver_done=done)
@@ -148,7 +151,9 @@ def _build_lossy(quick: bool, sim, recorder=None) -> Network:
     for port in net.topology.tors[0].ports:
         if isinstance(port.peer, Switch):
             port.set_loss(0.01, loss_rng)
-    nbytes = _scale(quick, 150_000)
+    # Sized so the full-mode run takes >0.5 s of wall time (the seed ran
+    # ~4.3k events in ~11 ms — far too short to time reliably).
+    nbytes = _scale(quick, 8_000_000)
     pairs = ((0, 2), (1, 3), (2, 0), (3, 1))
     done = _stop_when_done(net, len(pairs))
     for src, dst in pairs:
@@ -260,7 +265,7 @@ def run_bench(*, quick: bool = False, compare: bool = True,
         repeats = 1 if quick else DEFAULT_REPEATS
     fresh_process = not quick
     doc: dict = {
-        "schema_version": 2,
+        "schema_version": 3,
         "generated_by": "python -m repro bench" + (" --quick" if quick else ""),
         "quick": quick,
         "python": ".".join(map(str, sys.version_info[:3])),
@@ -273,6 +278,12 @@ def run_bench(*, quick: bool = False, compare: bool = True,
                         "gc_disabled": True},
         "scenarios": {},
     }
+    if not fresh_process:
+        # In-proc mode: warm the interpreter (allocator arenas, lazily
+        # imported modules, type caches) before the first measurement,
+        # or the first scenario measured pays the cold-start alone and
+        # skews every cross-scenario comparison.
+        run_scenario("incast", quick=quick)
     for name in SCENARIOS:
         res = _best_of(name, quick=quick, engine="calendar",
                        repeats=repeats, fresh_process=fresh_process)
@@ -323,6 +334,33 @@ def run_bench(*, quick: bool = False, compare: bool = True,
          f"{traced.wall_s:>7.3f} s  {traced.events_per_sec:>9,} ev/s")
     echo(f"full-tracing overhead (alltoall): {overhead:.2f}x untraced")
 
+    # Fit the predictive cost model: per-event-class costs from one
+    # timed calibration run, then predict every scenario from its event
+    # mix alone.  The residuals are tracked in the output document and
+    # gated in CI, so an aggregate regression localizes to the event
+    # class whose fitted cost moved.
+    from repro.harness.costmodel import (CALIBRATION_SCENARIOS, calibrate,
+                                         measure_mix, validate)
+    echo("fitting cost model (timed calibration runs)...")
+    infos = {name: measure_mix(name, quick=quick) for name in SCENARIOS}
+    anchors = [(doc["scenarios"][name]["wall_s"], infos[name][0],
+                infos[name][2], infos[name][3])
+               for name in ("incast", "lossy")]
+    model = calibrate(
+        CALIBRATION_SCENARIOS, quick=quick,
+        untraced_walls={name: doc["scenarios"][name]["wall_s"]
+                        for name in CALIBRATION_SCENARIOS},
+        anchors=anchors)
+    predictions = validate(model, doc["scenarios"], quick=quick,
+                           infos=infos)
+    doc["cost_model"] = dict(model.to_json(), predictions=predictions)
+    for row in predictions:
+        mark = "ok" if row["ok"] else "OUT OF TOLERANCE"
+        echo(f"cost model: {row['scenario']:<10} predicted "
+             f"{row['predicted_events_per_sec']:>9,} ev/s  actual "
+             f"{row['actual_events_per_sec']:>9,} ev/s  "
+             f"({row['error_pct']:+.1f}%, {mark})")
+
     if out:
         with open(out, "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=False)
@@ -336,14 +374,19 @@ def run_bench(*, quick: bool = False, compare: bool = True,
 # ----------------------------------------------------------------------
 def check_regression(doc: dict, baseline_path: str, *,
                      max_regression: float = 0.30,
+                     max_tracing_regression: float = 0.15,
                      echo: Callable[[str], None] = print) -> list[str]:
     """Compare a bench document against a tracked baseline file.
 
     Returns the list of regressions: scenarios whose ``events_per_sec``
-    fell more than ``max_regression`` (fraction) below the baseline.
-    Scenarios present on only one side are compared on the intersection;
-    absolute throughput differs across machines, so the gate is a
-    catch-big-regressions tripwire, not a precision benchmark.
+    fell more than ``max_regression`` (fraction) below the baseline,
+    plus a tracing regression if the traced-run ``overhead_ratio`` grew
+    more than ``max_tracing_regression`` above the baseline's.  The
+    overhead ratio is a same-machine quotient, so its gate is much
+    tighter than the raw-throughput one.  Scenarios present on only one
+    side are compared on the intersection; absolute throughput differs
+    across machines, so the gate is a catch-big-regressions tripwire,
+    not a precision benchmark.
     """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
@@ -363,4 +406,17 @@ def check_regression(doc: dict, baseline_path: str, *,
                 f"gate {1.0 - max_regression:.2f}x)")
         echo(f"regression gate: {name:<10} {ratio:5.2f}x baseline "
              f"({verdict})")
+    base_tr = baseline.get("tracing", {}).get("overhead_ratio")
+    cur_tr = doc.get("tracing", {}).get("overhead_ratio")
+    if base_tr and cur_tr:
+        growth = cur_tr / base_tr
+        verdict = "ok"
+        if growth > 1.0 + max_tracing_regression:
+            verdict = "REGRESSION"
+            regressions.append(
+                f"tracing: overhead {cur_tr:.2f}x untraced vs baseline "
+                f"{base_tr:.2f}x ({growth:.2f}x worse, gate "
+                f"{1.0 + max_tracing_regression:.2f}x)")
+        echo(f"regression gate: {'tracing':<10} {growth:5.2f}x baseline "
+             f"overhead ({verdict})")
     return regressions

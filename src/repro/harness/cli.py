@@ -146,6 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="FRAC",
                      help="allowed events/sec drop vs --baseline "
                           "(default 0.30 = 30%%)")
+    ben.add_argument("--max-tracing-regression", type=float, default=0.15,
+                     metavar="FRAC",
+                     help="allowed growth of the tracing overhead_ratio "
+                          "vs --baseline (default 0.15 = 15%%)")
+    ben.add_argument("--cost-model-out", metavar="PATH", default=None,
+                     help="also write the fitted per-event-class cost "
+                          "model to this JSON file (CI artifact)")
 
     pmap = sub.add_parser("pathmap", parents=[out_flags],
                           help="Fig. 3 PathMap on a fat-tree")
@@ -399,17 +406,47 @@ def cmd_pathmap(args: argparse.Namespace, console: Console) -> int:
 
 
 def cmd_bench(args: argparse.Namespace, console: Console) -> int:
+    import json as _json
+
     from repro.harness.bench import check_regression, run_bench
     doc = run_bench(quick=args.quick, compare=not args.no_compare,
                     repeats=args.repeats, out=args.out or None,
                     echo=console.info)
+    if args.cost_model_out and doc.get("cost_model"):
+        with open(args.cost_model_out, "w") as fh:
+            _json.dump(doc["cost_model"], fh, indent=2)
+            fh.write("\n")
+        console.info(f"wrote {args.cost_model_out}")
     rc = 0
     if args.baseline:
         regressions = check_regression(
             doc, args.baseline, max_regression=args.max_regression,
+            max_tracing_regression=args.max_tracing_regression,
             echo=console.info)
+        # The cost model's own gate: every scenario prediction must stay
+        # within the fitted tolerance, otherwise the event-cost structure
+        # shifted (some class got slower) even if aggregates pass.
+        for row in doc.get("cost_model", {}).get("predictions", []):
+            if not row["ok"]:
+                regressions.append(
+                    f"cost model: {row['scenario']} prediction off by "
+                    f"{row['error_pct']:+.1f}% (tolerance "
+                    f"{100 * doc['cost_model']['tolerance']:.0f}%)")
         for line in regressions:
             console.out(f"REGRESSION: {line}")
+        if regressions:
+            # Attribute the regression: compare fitted per-class costs
+            # against the baseline's to name the class that got slower.
+            from repro.harness.costmodel import residual_table
+            try:
+                with open(args.baseline) as fh:
+                    base_doc = _json.load(fh)
+            except OSError:
+                base_doc = {}
+            if doc.get("cost_model") and base_doc.get("cost_model"):
+                for line in residual_table(doc["cost_model"],
+                                           base_doc["cost_model"]):
+                    console.out(line)
         doc = dict(doc)
         doc["regressions"] = regressions
         rc = 1 if regressions else 0

@@ -190,7 +190,9 @@ class Network:
                        rate_trace=self.metrics.rate_trace_for(flow))
             if self.recorder is not None:
                 cc.rec = self.recorder.channel(obs_record.CC)
-                cc.rec_loc = f"cc:{flow}"
+                # Only pay the label f-string when the CC category is on.
+                if cc.rec is not None:
+                    cc.rec_loc = f"cc:{flow}"
             return cc
         return factory
 
@@ -360,13 +362,21 @@ class Network:
         drop = rec.channel(obs_record.DROP)
         nack = rec.channel(obs_record.NACK)
         pfc = rec.channel(obs_record.PFC)
+        # The two per-packet-rate channels get specialized emitter
+        # closures instead of the recorder itself (Recorder.hop_emitter
+        # / queue_emitters) — one plain call per event, no attribute
+        # loads.
+        hop = pkt.hop_emitter() if pkt is not None else None
+        enq, deq = (queue.queue_emitters() if queue is not None
+                    else (None, None))
         for switch in self.topology.switches:
-            switch.rec = pkt
+            switch.rec = hop
             switch._policy.rec_ecn = ecn
             if switch.pfc is not None:
                 switch.pfc.rec = pfc
             for port in switch.ports:
-                port._rec_q = queue
+                port._rec_enq = enq
+                port._rec_deq = deq
                 port._rec_drop = drop
             for mw in switch.middleware:
                 if isinstance(mw, ThemisDest):
@@ -374,7 +384,8 @@ class Network:
         for nic in self.nics:
             nic.recorder = rec
             for port in nic.ports:
-                port._rec_q = queue
+                port._rec_enq = enq
+                port._rec_deq = deq
                 port._rec_drop = drop
         self.metrics.recorder = rec
         obs_record.set_active(rec)

@@ -35,8 +35,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 #: Bytes of Eth+IP+UDP+BTH framing on a data segment.
 DATA_HEADER_BYTES = 58
@@ -55,42 +54,29 @@ class PacketType(enum.Enum):
     CNP = "cnp"
 
 
-@dataclass(frozen=True)
-class FlowKey:
+class FlowKey(NamedTuple):
     """Identity of one RC queue pair's direction (sender -> receiver).
 
     ``src``/``dst`` are NIC ids; ``qp`` disambiguates multiple QPs between
     the same NIC pair (collectives open one QP per peer per step group).
+
+    A ``NamedTuple`` rather than a dataclass: flow keys index every
+    QP/route/cache dict on the hot path, and tuple hash/equality run in C
+    — the dataclass version paid a Python-level ``__eq__`` on every dict
+    hit whose stored key was a different (equal) object, e.g. the
+    receiver-side key probed with the sender-side packet's key.
     """
 
     src: int
     dst: int
     qp: int = 0
 
-    def __post_init__(self) -> None:
-        # Flow keys index every QP/route/cache dict on the hot path, so
-        # the field-tuple hash is computed once instead of per lookup.
-        object.__setattr__(self, "_hash",
-                           hash((self.src, self.dst, self.qp)))
-
-    def __hash__(self) -> int:
-        return self._hash
-
     def reversed(self) -> "FlowKey":
-        """Key of the control-packet direction (receiver -> sender).
-
-        Memoized: every ACK/NACK/CNP and every control-packet dispatch
-        looks this up, so the pair of keys is built once and cross-linked.
-        """
-        rev = getattr(self, "_rev", None)
-        if rev is None:
-            rev = FlowKey(self.dst, self.src, self.qp)
-            object.__setattr__(self, "_rev", rev)
-            object.__setattr__(rev, "_rev", self)
-        return rev
+        """Key of the control-packet direction (receiver -> sender)."""
+        return FlowKey(self[1], self[0], self[2])
 
     def __str__(self) -> str:
-        return f"{self.src}->{self.dst}#{self.qp}"
+        return f"{self[0]}->{self[1]}#{self[2]}"
 
 
 _packet_ids = itertools.count()

@@ -44,7 +44,17 @@ class QueuePolicy:
     The default policy admits everything and never marks; switches install
     :class:`repro.switch.buffer.SharedBuffer` + :class:`repro.switch.ecn.EcnMarker`
     backed policies.
+
+    ``is_noop`` lets the port skip all three hook calls for the base
+    policy (NIC uplinks): every subclass is assumed to do real work, so
+    the flag flips automatically on subclassing.
     """
+
+    is_noop = True
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls.is_noop = False
 
     def admit(self, port: "Port", packet: Packet) -> bool:
         """Return ``False`` to drop ``packet`` instead of queueing it."""
@@ -63,11 +73,12 @@ class Port:
     __slots__ = (
         "sim", "owner", "bandwidth_bps", "delay_ns", "_ns_per_byte",
         "nominal_bandwidth_bps", "nominal_delay_ns",
-        "name", "index", "peer", "_peer_recv", "_fire", "_control",
-        "_data", "queued_bytes",
-        "_free_at", "_pump_armed", "_data_paused", "policy", "loss_rate",
+        "name", "index", "peer", "_peer_recv", "_fire", "_fire2",
+        "_control", "_data", "queued_bytes",
+        "_free_at", "_pump_armed", "_data_paused", "_pump_cb", "policy",
+        "loss_rate",
         "up", "_loss_rng", "bytes_sent", "packets_sent", "packets_dropped",
-        "busy_ns", "on_drop", "_rec_q", "_rec_drop",
+        "busy_ns", "on_drop", "_rec_enq", "_rec_deq", "_rec_drop",
     )
 
     def __init__(self, sim: Simulator, owner: "Device", *,
@@ -88,15 +99,19 @@ class Port:
         self.index = -1
         self.peer: Optional["Device"] = None
         self._peer_recv: Optional[Callable] = None
-        # Bound engine entry point, looked up once per port instead of
+        # Bound engine entry points, looked up once per port instead of
         # twice per transmitted packet.
         self._fire = sim.fire
+        self._fire2 = sim.fire2
 
         self._control: deque[Packet] = deque()
         self._data: deque[Packet] = deque()
         self.queued_bytes = 0          # data bytes waiting (excl. in-flight)
         self._free_at = 0              # ns when the serializer frees up
         self._pump_armed = False       # boundary wake-up pending?
+        # Bound method cached once: ``self._pump`` at a call site builds
+        # a fresh bound-method object per packet; this alias does not.
+        self._pump_cb = self._pump
         self._data_paused = False      # PFC: data class held, control flows
         self.policy: QueuePolicy = QueuePolicy()
 
@@ -116,7 +131,10 @@ class Port:
 
         # Observability channels (repro.obs): None when the category is
         # disabled, so the hot path pays one attribute test per packet.
-        self._rec_q = None
+        # enq/deq are specialized emitter callables
+        # (``Recorder.queue_emitters()``), not the recorder itself.
+        self._rec_enq = None
+        self._rec_deq = None
         self._rec_drop = None
 
         owner.attach_port(self)
@@ -142,16 +160,20 @@ class Port:
         if packet.is_control:
             self._control.append(packet)
         else:
-            if not self.policy.admit(self, packet):
-                self._drop(packet)
-                return False
-            self._data.append(packet)
-            self.queued_bytes += packet.wire_bytes
-            self.policy.on_enqueue(self, packet)
-            if self._rec_q is not None:
-                self._rec_q.queue_sample(self.sim.now, self.name, "enq",
-                                         self.queued_bytes,
-                                         len(self._data))
+            policy = self.policy
+            if policy.is_noop:
+                self._data.append(packet)
+                self.queued_bytes += packet.wire_bytes
+            else:
+                if not policy.admit(self, packet):
+                    self._drop(packet)
+                    return False
+                self._data.append(packet)
+                self.queued_bytes += packet.wire_bytes
+                policy.on_enqueue(self, packet)
+            if self._rec_enq is not None:
+                self._rec_enq(self.sim.now, self.name,
+                              self.queued_bytes, len(self._data))
         if not self._pump_armed:
             now = self.sim.now
             if now >= self._free_at:
@@ -160,7 +182,7 @@ class Port:
                 # Serializer mid-packet with no boundary wake-up pending
                 # (its queues were empty when it last popped): arm one.
                 self._pump_armed = True
-                self._fire(self._free_at - now, self._pump)
+                self._fire(self._free_at - now, self._pump_cb)
         return True
 
     # ------------------------------------------------------------------
@@ -181,34 +203,38 @@ class Port:
             packet = data.popleft()
             wire = packet.wire_bytes
             self.queued_bytes -= wire
-            self.policy.on_dequeue(self, packet)
-            if self._rec_q is not None:
-                self._rec_q.queue_sample(self.sim.now, self.name, "deq",
-                                         self.queued_bytes, len(data))
+            policy = self.policy
+            if not policy.is_noop:
+                policy.on_dequeue(self, packet)
+            if self._rec_deq is not None:
+                self._rec_deq(self.sim.now, self.name,
+                              self.queued_bytes, len(data))
         else:
             return
         tx_ns = int(wire * self._ns_per_byte)
         if tx_ns <= 0:
             tx_ns = 1
-        sim = self.sim
-        fire = self._fire
         self.busy_ns += tx_ns
-        self._free_at = sim.now + tx_ns
-        lost = not self.up
-        if (lost is False and self.loss_rate > 0.0 and packet.is_data
-                and self._loss_rng is not None
-                and self._loss_rng.random() < self.loss_rate):
-            lost = True
-        if lost:
-            self._drop(packet, "link_down" if not self.up else "loss")
-        else:
+        self._free_at = self.sim.now + tx_ns
+        # Healthy-link fast path first; the RNG draw happens under
+        # exactly the historical conditions (link up, loss configured,
+        # data packet, rng wired) so loss substreams stay bit-identical.
+        if self.up and not (self.loss_rate > 0.0 and packet.is_data
+                            and self._loss_rng is not None
+                            and self._loss_rng.random() < self.loss_rate):
             self.bytes_sent += wire
             self.packets_sent += 1
             packet.hops += 1
-            fire(tx_ns + self.delay_ns, self._deliver, packet)
+            # Delivery dispatches straight into the peer's receive():
+            # same (time, seq) the _deliver trampoline consumed, one
+            # Python call less per transmitted packet.
+            self._fire2(tx_ns + self.delay_ns, self._peer_recv,
+                        packet, self)
+        else:
+            self._drop(packet, "link_down" if not self.up else "loss")
         if control or (data and not self._data_paused):
             self._pump_armed = True
-            fire(tx_ns, self._pump)
+            self._fire(tx_ns, self._pump_cb)
 
     def _deliver(self, packet: Packet) -> None:
         self._peer_recv(packet, self)
@@ -234,7 +260,7 @@ class Port:
                 self._pump()
             else:
                 self._pump_armed = True
-                self._fire(self._free_at - self.sim.now, self._pump)
+                self._fire(self._free_at - self.sim.now, self._pump_cb)
 
     @property
     def data_paused(self) -> bool:

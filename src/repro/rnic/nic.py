@@ -56,6 +56,9 @@ class Rnic(Device):
 
         self.senders: dict[FlowKey, SenderQp] = {}
         self.receivers: dict[FlowKey, ReceiverQp] = {}
+        # Shadow index keyed by the *control* direction so arriving
+        # ACK/NACK/CNP dispatch skips the per-packet FlowKey reversal.
+        self._senders_by_ctrl: dict[FlowKey, SenderQp] = {}
 
     # ------------------------------------------------------------------
     # QP management
@@ -77,6 +80,7 @@ class Rnic(Device):
                           gbn=self.transport == "gbn",
                           nack_filter_n_paths=filter_n)
             self.senders[flow] = qp
+            self._senders_by_ctrl[flow.reversed()] = qp
         return qp
 
     def receiver(self, flow: FlowKey) -> ReceiverQp:
@@ -132,10 +136,9 @@ class Rnic(Device):
             rqp.on_data(packet)
             release_packet(packet)
             return
-        # Control packets travel the reverse flow; the sender QP is keyed
-        # by the original data direction.
-        data_flow = packet.flow.reversed()
-        sender = self.senders.get(data_flow)
+        # Control packets travel the reverse flow; the shadow index is
+        # keyed by that direction so no FlowKey needs to be built here.
+        sender = self._senders_by_ctrl.get(packet.flow)
         if sender is not None:
             if packet.ptype is PacketType.ACK:
                 sender.on_ack(packet.epsn)

@@ -78,6 +78,12 @@ class SenderQp:
 
         self._rto_event: Optional[Event] = None
         self._rto_current_ns = config.rto_ns
+        # Lazy RTO: the deadline the armed timer must respect.  Re-arming
+        # on every ACK only moves this timestamp; the already-scheduled
+        # event checks it when it fires and re-schedules the remainder,
+        # so the per-ACK cancel+schedule churn disappears from the
+        # calendar (one timer event per RTO span instead of per packet).
+        self._rto_deadline = 0
 
         self.stats = metrics.flow_stats(flow)
 
@@ -85,7 +91,10 @@ class SenderQp:
         # creation from the NIC's recorder (None = disabled).
         recorder = getattr(nic, "recorder", None)
         self.rec = None if recorder is None else recorder.channel(OBS_QP)
-        self._rec_loc = f"{nic.name}/qp{flow.qp}->nic{flow.dst}"
+        # Location label only exists when the channel is live — with the
+        # category disabled no per-QP string is ever formatted.
+        self._rec_loc = ("" if self.rec is None
+                         else f"{nic.name}/qp{flow.qp}->nic{flow.dst}")
 
     # ------------------------------------------------------------------
     # Posting work
@@ -280,17 +289,26 @@ class SenderQp:
     def _arm_rto(self, reset_backoff: bool = False) -> None:
         if reset_backoff:
             self._rto_current_ns = self.config.rto_ns
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
         if self.snd_una >= self.total_psns:
+            # Flow complete: the pending timer (if any) will see the
+            # completed state when it fires and do nothing.
+            self._rto_deadline = 0
             return
-        self._rto_event = self.sim.schedule(self._rto_current_ns,
-                                            self._rto_fire)
+        self._rto_deadline = self.sim.now + self._rto_current_ns
+        if self._rto_event is None:
+            self._rto_event = self.sim.schedule(self._rto_current_ns,
+                                                self._rto_fire)
 
     def _rto_fire(self) -> None:
         self._rto_event = None
         if self.snd_una >= self.total_psns:
+            return
+        remaining = self._rto_deadline - self.sim.now
+        if remaining > 0:
+            # ACKs pushed the deadline out while this event was in
+            # flight; sleep the remainder instead of having paid a
+            # cancel+schedule per ACK.
+            self._rto_event = self.sim.schedule(remaining, self._rto_fire)
             return
         self.stats.timeouts += 1
         if self.rec is not None:
@@ -307,6 +325,7 @@ class SenderQp:
         self._rto_current_ns = min(
             int(self._rto_current_ns * self.config.rto_backoff),
             self.config.rto_max_ns)
+        self._rto_deadline = self.sim.now + self._rto_current_ns
         self._rto_event = self.sim.schedule(self._rto_current_ns,
                                             self._rto_fire)
         self._maybe_schedule_send()

@@ -23,8 +23,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.net.packet import FlowKey, Packet, ack_packet, cnp_packet, \
-    nack_packet
+from repro.net.packet import FlowKey, Packet, PacketType, _make
 from repro.obs.record import NACK as OBS_NACK
 from repro.rnic.bitmap import OooTracker
 from repro.rnic.config import RnicConfig
@@ -44,6 +43,9 @@ class ReceiverQp:
         self.sim = sim
         self.nic = nic
         self.flow = flow              # data direction (sender -> us)
+        # Control direction, computed once: every ACK/NACK/CNP carries
+        # this key, so emission skips the per-packet reversal.
+        self._ctrl_flow = flow.reversed()
         self.config = config
         self.metrics = metrics
         self.stats = metrics.flow_stats(flow)
@@ -121,7 +123,10 @@ class ReceiverQp:
             self._ack_event = None
         self._unacked_advance = 0
         self.metrics.on_ack_generated(self.flow)
-        self.nic.transmit(ack_packet(self.flow, self.epsn))
+        # _make with the precomputed control flow == ack_packet(flow, ...)
+        # minus the per-ACK FlowKey reversal.
+        self.nic.transmit(_make(PacketType.ACK, self._ctrl_flow, 0,
+                                self.epsn))
 
     def _send_nack(self, trigger_psn: int | None = None, *,
                    observed_psn: int | None = None) -> None:
@@ -138,7 +143,7 @@ class ReceiverQp:
             self.rec_nack.nack_emit(
                 self.sim.now, self.nic.name, self.flow, self.epsn,
                 trigger_psn if trigger_psn is not None else observed_psn)
-        nack = nack_packet(self.flow, self.epsn)
+        nack = _make(PacketType.NACK, self._ctrl_flow, 0, self.epsn)
         if trigger_psn is not None:
             nack.psn = trigger_psn
         self.nic.transmit(nack)
@@ -150,7 +155,7 @@ class ReceiverQp:
             return
         self._last_cnp_ns = now
         self.metrics.on_cnp_generated(self.flow)
-        self.nic.transmit(cnp_packet(self.flow))
+        self.nic.transmit(_make(PacketType.CNP, self._ctrl_flow))
 
     def stop(self) -> None:
         if self._ack_event is not None:

@@ -75,6 +75,11 @@ _MIN_COMPACT = 512
 #: Sentinel "no bound" time, far beyond any simulated horizon (~146 y).
 _FAR_FUTURE = 1 << 62
 
+# Module-level aliases: the scheduling entry points run once or twice
+# per simulated packet, where ``heapq.heappush`` would cost a global
+# plus an attribute load per call.
+_heappush = heapq.heappush
+
 
 class SimulationError(RuntimeError):
     """Raised on scheduler misuse (e.g. scheduling in the past)."""
@@ -126,7 +131,7 @@ class Simulator:
         "now", "end_time", "trace", "_shift", "_width", "_mask",
         "_horizon", "_buckets", "_occ", "_bit", "_cur_index",
         "_cur_end", "_win_end", "_overflow", "_compact_at", "_event_pool",
-        "_seq", "_executed", "_running",
+        "_seq", "_executed", "_running", "batches",
     )
 
     def __init__(self, end_time: Optional[int] = None, *,
@@ -163,6 +168,10 @@ class Simulator:
         self._seq = 0
         self._executed = 0
         self._running = False
+        #: Calendar buckets claimed by :meth:`run_batched` — the unit of
+        #: per-batch overhead (claim + sort + bound hoisting).  The
+        #: bench cost model reads this to price batch-sparse workloads.
+        self.batches = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -192,7 +201,7 @@ class Simulator:
         entry = (time, seq, event)
         if time < self._win_end:
             if time < self._cur_end:
-                heapq.heappush(self._buckets[self._cur_index], entry)
+                _heappush(self._buckets[self._cur_index], entry)
             else:
                 index = (time >> self._shift) & self._mask
                 bucket = self._buckets[index]
@@ -201,7 +210,7 @@ class Simulator:
                 bucket.append(entry)
         else:
             overflow = self._overflow
-            heapq.heappush(overflow, entry)
+            _heappush(overflow, entry)
             if len(overflow) > self._compact_at:
                 self._compact_overflow()
         return event
@@ -228,7 +237,7 @@ class Simulator:
         entry = (time, seq, callback, arg)
         if time < self._win_end:
             if time < self._cur_end:
-                heapq.heappush(self._buckets[self._cur_index], entry)
+                _heappush(self._buckets[self._cur_index], entry)
             else:
                 index = (time >> self._shift) & self._mask
                 bucket = self._buckets[index]
@@ -237,7 +246,39 @@ class Simulator:
                 bucket.append(entry)
         else:
             overflow = self._overflow
-            heapq.heappush(overflow, entry)
+            _heappush(overflow, entry)
+            if len(overflow) > self._compact_at:
+                self._compact_overflow()
+
+    def fire2(self, delay: int, callback: Callable[[Any, Any], Any],
+              arg1: Any, arg2: Any) -> None:
+        """Two-argument :meth:`fire`: ``callback(arg1, arg2)``, no handle.
+
+        Exists so packet delivery can dispatch straight into the peer
+        device's ``receive(packet, port)`` without a per-packet bound
+        trampoline in between — the entry is ``(time, seq, callback,
+        arg1, arg2)`` and consumes one ``seq`` exactly like :meth:`fire`,
+        so engines that use it stay in event-order lockstep with engines
+        that do not.  Same caller contract as :meth:`fire`.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (time, seq, callback, arg1, arg2)
+        if time < self._win_end:
+            if time < self._cur_end:
+                _heappush(self._buckets[self._cur_index], entry)
+            else:
+                index = (time >> self._shift) & self._mask
+                bucket = self._buckets[index]
+                if not bucket:
+                    self._occ |= self._bit[index]
+                bucket.append(entry)
+        else:
+            overflow = self._overflow
+            _heappush(overflow, entry)
             if len(overflow) > self._compact_at:
                 self._compact_overflow()
 
@@ -270,7 +311,7 @@ class Simulator:
                 # The cursor bucket is kept heap-ordered while draining.
                 # Its occupancy bit is irrelevant: the run loop always
                 # drains the cursor before consulting the bitmap.
-                heapq.heappush(self._buckets[self._cur_index], entry)
+                _heappush(self._buckets[self._cur_index], entry)
             else:
                 index = (time >> self._shift) & self._mask
                 bucket = self._buckets[index]
@@ -279,7 +320,7 @@ class Simulator:
                 bucket.append(entry)
         else:
             overflow = self._overflow
-            heapq.heappush(overflow, entry)
+            _heappush(overflow, entry)
             if len(overflow) > self._compact_at:
                 self._compact_overflow()
         return event
@@ -292,7 +333,7 @@ class Simulator:
         compaction those tombstones would accumulate for the whole run.
         """
         live = [e for e in self._overflow
-                if len(e) == 4 or not e[2].cancelled]
+                if len(e) != 3 or not e[2].cancelled]
         heapq.heapify(live)
         self._overflow = live
         self._compact_at = max(_MIN_COMPACT, 2 * len(live))
@@ -300,11 +341,13 @@ class Simulator:
     # ------------------------------------------------------------------
     # Cursor movement (cold path: runs only when a bucket drains)
     # ------------------------------------------------------------------
-    def _advance_cursor(self) -> Optional[list]:
+    def _advance_cursor(self, heapify: bool = True) -> Optional[list]:
         """Move the cursor to the next non-empty bucket.
 
-        Returns that bucket (heapified, ready to drain), or ``None`` when
-        nothing is pending anywhere.  The next occupied bucket comes from
+        Returns that bucket (heapified, ready to drain — or raw when
+        ``heapify=False``, for the batched drain which sorts the whole
+        bucket at once), or ``None`` when nothing is pending anywhere.
+        The next occupied bucket comes from
         the occupancy bitmap — a shift plus count-trailing-zeros on one
         big int, all C-level — so a sparse calendar (idle timers tens of
         microseconds apart) costs the same as a dense one.  When the
@@ -352,7 +395,8 @@ class Simulator:
                 b.append(entry)
             self._occ = occ
             bucket = buckets[index]
-            heapq.heapify(bucket)
+            if heapify:
+                heapq.heapify(bucket)
             return bucket
         if not overflow:
             self._occ = 0
@@ -375,7 +419,8 @@ class Simulator:
             b.append(entry)
         self._occ = occ
         bucket = buckets[index]
-        heapq.heapify(bucket)
+        if heapify:
+            heapq.heapify(bucket)
         return bucket
 
     # ------------------------------------------------------------------
@@ -394,12 +439,15 @@ class Simulator:
                 if bucket is None:
                     return False
             entry = heapq.heappop(bucket)
-            if len(entry) == 4:               # fire() fast-path entry
+            if len(entry) != 3:               # fire()/fire2() fast path
                 if self.end_time is not None and entry[0] > self.end_time:
                     heapq.heappush(bucket, entry)
                     return False
                 self.now = entry[0]
-                entry[2](entry[3])
+                if len(entry) == 4:
+                    entry[2](entry[3])
+                else:
+                    entry[2](entry[3], entry[4])
                 self._executed += 1
                 return True
             event = entry[2]
@@ -429,7 +477,33 @@ class Simulator:
         Returns the number of events executed by this call.  When the
         queue drains before ``until``, the clock still advances to
         ``until``, matching the early-break case — either way the caller
-        observes ``now == until``.
+        observes ``now == until``.  Delegates to :meth:`run_batched`,
+        the bucket-at-a-time drain (golden-tested bit-identical to the
+        historical one-event-at-a-time loop and to the heap reference).
+        """
+        return self.run_batched(until)
+
+    def run_batched(self, until: Optional[int] = None) -> int:
+        """Batched drain: claim whole calendar buckets, sort once, then
+        dispatch the batch in a tight loop.
+
+        Per-event cost drops three ways versus the classic loop:
+
+        * one C-level ``list.sort`` per bucket replaces a ``heappop``
+          (log-n sifts) per event;
+        * the stop-bound comparison is hoisted to once per bucket — a
+          bucket whose window ends at or before the bound can never
+          contain a late event, which is every bucket except possibly
+          the final one of a bounded run;
+        * same-timestamp chains (port→switch→port hops of one packet
+          wave) run back-to-back out of the sorted batch with no queue
+          maintenance between them.
+
+        Events scheduled *into* the claimed window while it drains (a
+        serializer boundary wake-up shorter than the remaining bucket,
+        a zero-delay completion) land in a fresh ``live`` heap that the
+        drain merges in ``(time, seq)`` order, so execution order is
+        bit-identical to the reference engines.
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
@@ -442,57 +516,126 @@ class Simulator:
         pool = self._event_pool
         pool_append = pool.append
         advance = self._advance_cursor
-        # Fold ``until`` and ``end_time`` into one numeric stop bound so
-        # the loop pays a single comparison per event; which bound fired
-        # decides below whether the clock jumps to ``until``.
+        buckets = self._buckets
+        # Fold ``until`` and ``end_time`` into one numeric stop bound;
+        # which bound fired decides below whether the clock jumps to
+        # ``until``.
         bound = until if until is not None else _FAR_FUTURE
         if self.end_time is not None and self.end_time < bound:
             bound = self.end_time
-        bucket = self._buckets[self._cur_index]
         try:
             while True:
-                if not bucket:
-                    bucket = advance()
-                    if bucket is None:
+                index = self._cur_index
+                batch = buckets[index]
+                if not batch:
+                    batch = advance(heapify=False)
+                    if batch is None:
                         # Queue drained before the bound: leave now ==
-                        # until, same as the early-break branch below.
+                        # until, same as the bounded-break case below.
                         if until is not None and until > self.now:
                             self.now = until
                         break
-                entry = heappop(bucket)
-                time = entry[0]
-                if len(entry) == 4:           # fire() fast-path entry
-                    if time > bound:
-                        heappush(bucket, entry)
-                        if bound == until and until > self.now:
-                            self.now = until
-                        break
-                    self.now = time
-                    if trace is not None:
-                        trace(time, entry[1], entry[2])
-                    entry[2](entry[3])
-                    executed += 1
-                    continue
-                event = entry[2]
-                if event.cancelled:
-                    event.args = ()
-                    if len(pool) < _EVENT_POOL_CAP:
-                        pool_append(event)
-                    continue
-                if time > bound:
-                    heappush(bucket, entry)
+                    index = self._cur_index
+                if self._cur_end > bound + 1:
+                    # The cursor window straddles the stop bound (at most
+                    # once per call): fall back to the careful per-event
+                    # drain for this bucket, then stop — every other
+                    # pending entry lies at >= _cur_end > bound.
+                    heapq.heapify(batch)
+                    while batch:
+                        entry = heappop(batch)
+                        time = entry[0]
+                        if time > bound:
+                            heappush(batch, entry)
+                            break
+                        ln = len(entry)
+                        if ln != 3:
+                            self.now = time
+                            if trace is not None:
+                                trace(time, entry[1], entry[2])
+                            if ln == 4:
+                                entry[2](entry[3])
+                            else:
+                                entry[2](entry[3], entry[4])
+                            executed += 1
+                            continue
+                        event = entry[2]
+                        if event.cancelled:
+                            event.args = ()
+                            if len(pool) < _EVENT_POOL_CAP:
+                                pool_append(event)
+                            continue
+                        self.now = time
+                        if trace is not None:
+                            trace(time, entry[1], event.callback)
+                        event.callback(*event.args)
+                        executed += 1
+                        event.callback = None
+                        event.args = ()
+                        if len(pool) < _EVENT_POOL_CAP:
+                            pool_append(event)
                     if bound == until and until > self.now:
                         self.now = until
                     break
-                self.now = time
-                if trace is not None:
-                    trace(time, entry[1], event.callback)
-                event.callback(*event.args)
-                executed += 1
-                event.callback = None
-                event.args = ()
-                if len(pool) < _EVENT_POOL_CAP:
-                    pool_append(event)
+                # Claim the bucket: late inserts into the still-open
+                # cursor window go to a fresh heap we merge from.
+                live: list = []
+                buckets[index] = live
+                batch.sort()
+                self.batches += 1
+                pos = 0
+                n = len(batch)
+                merged = 0   # late inserts drained from ``live``
+                skipped = 0  # lazily-cancelled Event entries
+                try:
+                    while pos < n:
+                        entry = batch[pos]
+                        if live and live[0] < entry:
+                            entry = heappop(live)
+                            merged += 1
+                        else:
+                            pos += 1
+                        ln = len(entry)
+                        if ln == 5:           # fire2() delivery entry
+                            self.now = entry[0]
+                            if trace is not None:
+                                trace(entry[0], entry[1], entry[2])
+                            entry[2](entry[3], entry[4])
+                        elif ln == 4:         # fire() wake-up entry
+                            self.now = entry[0]
+                            if trace is not None:
+                                trace(entry[0], entry[1], entry[2])
+                            entry[2](entry[3])
+                        else:                 # full Event entry
+                            event = entry[2]
+                            if event.cancelled:
+                                skipped += 1
+                                event.args = ()
+                                if len(pool) < _EVENT_POOL_CAP:
+                                    pool_append(event)
+                                continue
+                            self.now = entry[0]
+                            if trace is not None:
+                                trace(entry[0], entry[1], event.callback)
+                            event.callback(*event.args)
+                            event.callback = None
+                            event.args = ()
+                            if len(pool) < _EVENT_POOL_CAP:
+                                pool_append(event)
+                    # Counting once per batch beats one increment per
+                    # event: everything consumed ran except cancellations.
+                    executed += n + merged - skipped
+                except BaseException:
+                    # Restore the unexecuted tail so a callback raising
+                    # mid-batch leaves the queue intact for post-mortems.
+                    # The entry that raised was consumed but (matching the
+                    # classic loop) does not count as executed.
+                    executed += pos + merged - skipped - 1
+                    live.extend(batch[pos:])
+                    heapq.heapify(live)
+                    raise
+                # Batch done; any remaining late inserts (now in the
+                # bucket) are re-claimed by the next outer iteration.
         finally:
             self._running = False
         self._executed += executed
@@ -545,6 +688,7 @@ class HeapSimulator:
         self._seq = 0
         self._executed = 0
         self._running = False
+        self.batches = 0  # API parity; the heap engine never batches
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -565,6 +709,11 @@ class HeapSimulator:
         in lockstep, which the golden determinism test relies on.
         """
         self.schedule(delay, callback, arg)
+
+    def fire2(self, delay: int, callback: Callable[[Any, Any], Any],
+              arg1: Any, arg2: Any) -> None:
+        """Two-argument fire (API parity with :class:`Simulator`)."""
+        self.schedule(delay, callback, arg1, arg2)
 
     def schedule_at(self, time: int, callback: Callable[..., Any],
                     *args: Any) -> Event:

@@ -68,7 +68,14 @@ class Middleware:
 
 
 class SwitchQueuePolicy(QueuePolicy):
-    """Shared-buffer admission + ECN marking for one switch's ports."""
+    """Shared-buffer admission + ECN marking for one switch's ports.
+
+    The shared-buffer byte accounting is inlined here (same arithmetic as
+    :meth:`SharedBuffer.can_admit`/``reserve``/``release``) — these hooks
+    run once per data packet per hop, and the delegation cost two extra
+    Python calls per packet.  ``marker.should_mark`` stays a call because
+    it owns the evaluated/marked counters.
+    """
 
     def __init__(self, buffer: SharedBuffer, marker: EcnMarker,
                  switch: "Switch") -> None:
@@ -79,10 +86,19 @@ class SwitchQueuePolicy(QueuePolicy):
         self.rec_ecn = None
 
     def admit(self, port: Port, packet: Packet) -> bool:
-        return self.buffer.can_admit(packet.wire_bytes, port.queued_bytes)
+        buf = self.buffer
+        nbytes = packet.wire_bytes
+        if buf.used_bytes + nbytes > buf.capacity_bytes:
+            return False
+        cap = buf.per_port_cap_bytes
+        return cap is None or port.queued_bytes + nbytes <= cap
 
     def on_enqueue(self, port: Port, packet: Packet) -> None:
-        self.buffer.reserve(packet.wire_bytes)
+        buf = self.buffer
+        used = buf.used_bytes + packet.wire_bytes
+        buf.used_bytes = used
+        if used > buf.peak_bytes:
+            buf.peak_bytes = used
         if not packet.ecn_marked and self.marker.should_mark(
                 port.queued_bytes):
             packet.ecn_marked = True
@@ -91,9 +107,10 @@ class SwitchQueuePolicy(QueuePolicy):
                                       packet, port.queued_bytes)
 
     def on_dequeue(self, port: Port, packet: Packet) -> None:
-        self.buffer.release(packet.wire_bytes)
-        if self.switch.pfc is not None:
-            self.switch.pfc.on_egress(packet)
+        self.buffer.used_bytes -= packet.wire_bytes
+        pfc = self.switch.pfc
+        if pfc is not None:
+            pfc.on_egress(packet)
 
 
 class Switch(Device):
@@ -117,7 +134,8 @@ class Switch(Device):
         #: Optional PFC state machine (see repro.switch.pfc); installed
         #: by the harness when the fabric runs lossless.
         self.pfc = None
-        #: Packet-hop observability channel (repro.obs); None = disabled.
+        #: Packet-hop emitter callable (``Recorder.hop_emitter()``);
+        #: None = disabled.
         self.rec = None
         self._policy = SwitchQueuePolicy(buffer, ecn_marker, self)
         # Per-switch hash seed/rotation: real ASICs configure their CRC
@@ -145,31 +163,40 @@ class Switch(Device):
     # ------------------------------------------------------------------
     def receive(self, packet: Packet, in_port: Optional[Port]) -> None:
         # forward() is inlined below — this runs once per packet per hop;
-        # keep the two bodies in sync.
+        # keep the two bodies in sync.  Cold-path attributes (rec, pfc,
+        # middleware) are loaded once; the route lookup is a plain dict
+        # subscript (no bound-method call) with the miss handled cold.
         if not self.active:
             self._drop_inactive(packet)
             return
-        if self.rec is not None:
-            self.rec.packet_hop(self.sim.now, self.name, packet)
-        if self.pfc is not None:
-            self.pfc.on_ingress(packet, in_port)
-        if self.middleware:
-            for mw in self.middleware:
+        rec = self.rec
+        if rec is not None:
+            rec(self.sim.now, self.name, packet)
+        pfc = self.pfc
+        if pfc is not None:
+            pfc.on_ingress(packet, in_port)
+        middleware = self.middleware
+        if middleware:
+            for mw in middleware:
                 if not mw.on_packet(self, packet, in_port):
-                    if self.pfc is not None:
-                        self.pfc.on_egress(packet)  # consumed: credit
+                    if pfc is not None:
+                        pfc.on_egress(packet)  # consumed: credit
                     return
-        candidates = self.routes.get(packet.dst)
-        if not candidates:
+        try:
+            candidates = self.routes[packet.dst]
+        except KeyError:
             raise LookupError(
-                f"{self.name}: no route to NIC {packet.dst}")
+                f"{self.name}: no route to NIC {packet.dst}") from None
         if len(candidates) == 1:
             # Downlink hops have exactly one route; skip the selector.
             port = candidates[0]
-        else:
+        elif candidates:
             port = self._select(packet, candidates)
-        if not port.enqueue(packet) and self.pfc is not None:
-            self.pfc.on_egress(packet)  # dropped at admission: credit
+        else:
+            raise LookupError(
+                f"{self.name}: no route to NIC {packet.dst}")
+        if not port.enqueue(packet) and pfc is not None:
+            pfc.on_egress(packet)  # dropped at admission: credit
 
     def forward(self, packet: Packet) -> None:
         """Route + LB + enqueue, without the ingress stages.
@@ -178,14 +205,18 @@ class Switch(Device):
         (Themis-D retransmits) and for tests; :meth:`receive` inlines
         this body on the per-hop hot path.
         """
-        candidates = self.routes.get(packet.dst)
-        if not candidates:
+        try:
+            candidates = self.routes[packet.dst]
+        except KeyError:
             raise LookupError(
-                f"{self.name}: no route to NIC {packet.dst}")
+                f"{self.name}: no route to NIC {packet.dst}") from None
         if len(candidates) == 1:
             port = candidates[0]
-        else:
+        elif candidates:
             port = self._select(packet, candidates)
+        else:
+            raise LookupError(
+                f"{self.name}: no route to NIC {packet.dst}")
         if not port.enqueue(packet) and self.pfc is not None:
             self.pfc.on_egress(packet)  # dropped at admission: credit
 
@@ -236,7 +267,7 @@ class Switch(Device):
     def _drop_inactive(self, packet: Packet) -> None:
         """Account a packet blackholed by an inactive (rebooting) switch."""
         if self.rec is not None:
-            self.rec.packet_hop(self.sim.now, self.name, packet)
+            self.rec(self.sim.now, self.name, packet)
         if self.metrics is not None:
             self.metrics.on_drop(packet, self, None)
 

@@ -1,0 +1,310 @@
+"""Golden-equality tests for the columnar Recorder.
+
+The Recorder stores compact struct rows and materializes the legacy
+``(t, cat, name, loc, data)`` record shape lazily.  These tests pin the
+materialized output — values AND dict key order — for every category, so
+a storage-layout change can never silently alter what consumers
+(``records()``, the NACK audit, the Perfetto export, ``dump_flight``)
+see.  They also pin the "disabled tracing is free" contract: a network
+built without a recorder (or with every category disabled) must never
+invoke an emitter at all.
+"""
+
+from array import array
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.record import (ALL_CATEGORIES, CC, DROP, ECN, FAULT, NACK,
+                              PACKET, PFC, QP, QUEUE, Recorder)
+
+
+class _Flow:
+    src, dst, qp = 0, 1, 0
+
+    def __str__(self):
+        return "0->1#0"
+
+
+def fake_packet(psn=5, ptype="data"):
+    return SimpleNamespace(pkt_id=42, ptype=SimpleNamespace(value=ptype),
+                           flow=_Flow(), psn=psn, epsn=0, path_index=2,
+                           is_retx=False)
+
+
+class TestGoldenEquality:
+    """Materialized records match the historical dict-based output —
+    same values, same dict key order — for every category."""
+
+    def _one(self, rec, category):
+        records = rec.records(category)
+        assert len(records) == 1
+        return records[0]
+
+    def test_packet_hop(self):
+        rec = Recorder()
+        pkt = fake_packet()
+        rec.packet_hop(100, "tor0/p1", pkt)
+        t, cat, name, loc, data = self._one(rec, PACKET)
+        assert (t, cat, name, loc) == (100, "packet", "hop", "tor0/p1")
+        assert list(data.items()) == [
+            ("pkt_id", 42), ("ptype", "data"), ("src", 0), ("dst", 1),
+            ("qp", 0), ("psn", 5), ("epsn", 0), ("path_index", 2),
+            ("is_retx", False)]
+        # The pooled packet (and its flow) must not be referenced.
+        assert not any(v is pkt or v is pkt.flow for v in data.values())
+
+    def test_queue_sample(self):
+        rec = Recorder()
+        rec.queue_sample(7, "sw0/p1", "enq", 3000, 2)
+        t, cat, name, loc, data = self._one(rec, QUEUE)
+        assert (t, cat, name, loc) == (7, "queue", "enq", "sw0/p1")
+        assert list(data.items()) == [("queued_bytes", 3000),
+                                      ("backlog_pkts", 2)]
+
+    def test_queue_fast_paths_match_generic(self):
+        # queue_enq/queue_deq are the statically-interned fast paths the
+        # Port hot loop calls; they must materialize exactly like the
+        # generic action-string emitter.
+        fast, generic = Recorder(), Recorder()
+        fast.queue_enq(7, "sw0/p1", 3000, 2)
+        fast.queue_deq(9, "sw0/p1", 1500, 1)
+        generic.queue_sample(7, "sw0/p1", "enq", 3000, 2)
+        generic.queue_sample(9, "sw0/p1", "deq", 1500, 1)
+        assert fast.records(QUEUE) == generic.records(QUEUE)
+        assert fast.counts == generic.counts == {"enq": 1, "deq": 1}
+
+    def test_ecn_mark(self):
+        rec = Recorder()
+        rec.ecn_mark(8, "sw0/p2", fake_packet(psn=9), 64_000)
+        t, cat, name, loc, data = self._one(rec, ECN)
+        assert (t, cat, name, loc) == (8, "ecn", "ecn_mark", "sw0/p2")
+        assert list(data.items()) == [
+            ("pkt_id", 42), ("psn", 9), ("flow", "0->1#0"),
+            ("queued_bytes", 64_000)]
+
+    def test_drop(self):
+        rec = Recorder()
+        rec.drop(9, "sw0/p3", fake_packet(psn=11), reason="tail")
+        t, cat, name, loc, data = self._one(rec, DROP)
+        assert (t, cat, name, loc) == (9, "drop", "drop", "sw0/p3")
+        assert list(data.items()) == [
+            ("pkt_id", 42), ("ptype", "data"), ("flow", "0->1#0"),
+            ("psn", 11), ("reason", "tail")]
+
+    def test_nack_emit(self):
+        rec = Recorder()
+        rec.nack_emit(10, "nic1", _Flow(), 4, 7)
+        t, cat, name, loc, data = self._one(rec, NACK)
+        assert (t, cat, name, loc) == (10, "nack", "nack_emit", "nic1")
+        assert list(data.items()) == [
+            ("flow", "0->1#0"), ("epsn", 4), ("trigger_psn", 7)]
+
+    def test_nack_classify_minimal(self):
+        rec = Recorder()
+        rec.nack_classify(11, "sw0", _Flow(), 4, "pass")
+        t, cat, name, loc, data = self._one(rec, NACK)
+        assert (t, cat, name, loc) == (11, "nack", "nack_classify", "sw0")
+        assert list(data.items()) == [
+            ("flow", "0->1#0"), ("epsn", 4), ("verdict", "pass"),
+            ("tpsn", None), ("n_paths", 0), ("ring_len", 0),
+            ("armed", False)]
+
+    def test_nack_classify_with_paths_and_guard(self):
+        rec = Recorder()
+        rec.nack_classify(12, "sw0", _Flow(), 10, "block", tpsn=13,
+                          n_paths=4, ring_len=3, armed=True,
+                          guard="epoch")
+        _, _, _, _, data = self._one(rec, NACK)
+        assert list(data.items()) == [
+            ("flow", "0->1#0"), ("epsn", 10), ("verdict", "block"),
+            ("tpsn", 13), ("n_paths", 4), ("ring_len", 3),
+            ("armed", True), ("epsn_path", 2), ("tpsn_path", 1),
+            ("guard", "epoch")]
+
+    def test_nack_classify_paths_without_tpsn(self):
+        rec = Recorder()
+        rec.nack_classify(13, "sw0", _Flow(), 10, "block", n_paths=4)
+        _, _, _, _, data = self._one(rec, NACK)
+        assert data["epsn_path"] == 2
+        assert data["tpsn_path"] is None
+
+    def test_nack_compensate_and_cancel(self):
+        rec = Recorder()
+        rec.nack_compensate(14, "sw0", _Flow(), 4, 9)
+        rec.nack_cancel(15, "sw0", _Flow(), 4, "arrived")
+        comp, cancel = rec.records(NACK)
+        assert comp[2] == "nack_compensate"
+        assert list(comp[4].items()) == [
+            ("flow", "0->1#0"), ("bepsn", 4), ("prove_psn", 9)]
+        assert cancel[2] == "nack_cancel"
+        assert list(cancel[4].items()) == [
+            ("flow", "0->1#0"), ("bepsn", 4), ("reason", "arrived")]
+
+    def test_pfc(self):
+        rec = Recorder()
+        rec.pfc(16, "tor0/p0", "pause", 180_000)
+        t, cat, name, loc, data = self._one(rec, PFC)
+        assert (t, cat, name, loc) == (16, "pfc", "pfc_pause", "tor0/p0")
+        assert list(data.items()) == [("occupancy_bytes", 180_000)]
+
+    def test_qp_state(self):
+        rec = Recorder()
+        rec.qp_state(17, "nic0/qp0", _Flow(), "rewind", snd_una=3,
+                     snd_nxt=8)
+        t, cat, name, loc, data = self._one(rec, QP)
+        assert (t, cat, name, loc) == (17, "qp", "qp_state", "nic0/qp0")
+        assert list(data.items()) == [
+            ("flow", "0->1#0"), ("state", "rewind"), ("snd_una", 3),
+            ("snd_nxt", 8)]
+
+    def test_cc_rate(self):
+        rec = Recorder()
+        rec.cc_rate(18, "cc:0->1#0", 5.5e10)
+        t, cat, name, loc, data = self._one(rec, CC)
+        assert (t, cat, name, loc) == (18, "cc", "cc_rate", "cc:0->1#0")
+        assert list(data.items()) == [("rate_bps", 5.5e10)]
+
+    def test_fault(self):
+        rec = Recorder()
+        rec.fault(19, "tor0-spine1", "link_down", down_us=500.0)
+        t, cat, name, loc, data = self._one(rec, FAULT)
+        assert (t, cat, name, loc) == (19, "fault", "fault_link_down",
+                                       "tor0-spine1")
+        assert list(data.items()) == [("down_us", 500.0)]
+
+    def test_str_flow_deferred_not_stale(self):
+        """str(flow) happens at materialization, yet must reflect the
+        flow identity at emit time — flows are immutable, so holding the
+        object is safe and two emits with different flows stay distinct."""
+        class _OtherFlow:
+            src, dst, qp = 3, 7, 1
+
+            def __str__(self):
+                return "3->7#1"
+
+        rec = Recorder()
+        rec.nack_emit(1, "a", _Flow(), 1, None)
+        rec.nack_emit(2, "b", _OtherFlow(), 2, None)
+        first, second = rec.records(NACK)
+        assert first[4]["flow"] == "0->1#0"
+        assert second[4]["flow"] == "3->7#1"
+
+
+class TestSampling:
+    def test_stride_keeps_every_kth(self):
+        rec = Recorder(sample={QUEUE: 4})
+        for i in range(8):
+            rec.queue_sample(i, "p", "enq", i * 100, i)
+        kept = rec.records(QUEUE)
+        assert [r[0] for r in kept] == [3, 7]  # every 4th emit
+
+    def test_sampled_out_events_are_invisible(self):
+        rec = Recorder(sample={QUEUE: 4})
+        for i in range(8):
+            rec.queue_sample(i, "p", "enq", 0, 0)
+        assert rec.total_events() == 2
+        assert rec.counts == {"enq": 2}
+        assert len(rec.ring) == 2
+
+    def test_other_categories_unaffected(self):
+        rec = Recorder(sample={QUEUE: 1000})
+        rec.packet_hop(1, "p", fake_packet())
+        rec.queue_sample(2, "p", "enq", 0, 0)
+        assert rec.counts == {"hop": 1}
+
+    def test_invalid_stride_rejected(self):
+        with pytest.raises(ValueError, match="unknown sample"):
+            Recorder(sample={"bogus": 2})
+        with pytest.raises(ValueError, match="must be >= 1"):
+            Recorder(sample={QUEUE: 0})
+
+
+class TestColumns:
+    def test_packet_columns_typed(self):
+        rec = Recorder(retain={PACKET})
+        for psn in (3, 4, 5):
+            rec.packet_hop(psn * 10, "tor0/p1", fake_packet(psn=psn))
+        cols = rec.columns(PACKET)
+        assert isinstance(cols["t"], array) and cols["t"].typecode == "q"
+        assert cols["t"].tolist() == [30, 40, 50]
+        assert cols["psn"].tolist() == [3, 4, 5]
+        assert cols["src"].tolist() == [0, 0, 0]
+        assert cols["is_retx"].tolist() == [0, 0, 0]
+        assert cols["loc"] == ["tor0/p1"] * 3
+        assert cols["ptype"] == ["data"] * 3
+
+    def test_queue_columns_have_names(self):
+        rec = Recorder()
+        rec.queue_sample(1, "p", "enq", 1500, 1)
+        rec.queue_sample(2, "p", "deq", 0, 0)
+        cols = rec.columns(QUEUE)
+        assert cols["name"] == ["enq", "deq"]
+        assert cols["queued_bytes"].tolist() == [1500, 0]
+
+    def test_ring_fallback_when_unretained(self):
+        rec = Recorder()  # nothing retained: columns come from the ring
+        rec.packet_hop(1, "p", fake_packet())
+        rec.queue_sample(2, "p", "enq", 0, 0)
+        assert len(rec.columns(PACKET)["t"]) == 1
+
+    def test_variable_shape_category_rejected(self):
+        rec = Recorder()
+        with pytest.raises(ValueError, match="no uniform column layout"):
+            rec.columns(NACK)
+
+
+class _CountingStub(Recorder):
+    """Recorder with every category disabled that fails loudly if any
+    emitter is ever invoked — the wiring must hand out ``None`` channels
+    so instrumented hot paths skip the call entirely."""
+
+    def __init__(self):
+        super().__init__(categories=())
+        self.calls = 0
+
+    def _boom(self, *a, **kw):
+        self.calls += 1
+
+    packet_hop = queue_sample = queue_enq = queue_deq = _boom
+    ecn_mark = drop = _boom
+    nack_emit = nack_classify = nack_compensate = nack_cancel = _boom
+    pfc = qp_state = cc_rate = fault = _boom
+
+
+class TestDisabledTracingIsFree:
+    def _run(self, recorder):
+        from repro.harness.network import (Network, NetworkConfig,
+                                           TopologySpec)
+        from repro.sim.engine import MS, US
+
+        topo = TopologySpec(kind="leaf_spine", num_tors=2, num_spines=2,
+                            nics_per_tor=2, link_bandwidth_bps=100e9,
+                            link_delay_ns=US)
+        net = Network(NetworkConfig(topology=topo, scheme="rps",
+                                    transport="nic_sr", seed=3),
+                      recorder=recorder)
+        net.post_message(0, 2, 30_000)
+        net.run(until_ns=MS)
+        net.stop()
+        return net
+
+    def test_all_disabled_recorder_never_called(self):
+        stub = _CountingStub()
+        net = self._run(stub)
+        assert stub.calls == 0
+        assert stub.total_events() == 0
+        # The hot-path channel slots hold None, not a disabled recorder.
+        for tor in net.topology.tors:
+            assert tor.rec is None
+            assert tor._policy.rec_ecn is None
+            for port in tor.ports:
+                assert port._rec_enq is None
+                assert port._rec_deq is None
+
+    def test_none_recorder_matches_disabled_run(self):
+        """recorder=None and an all-disabled recorder execute the exact
+        same event sequence — tracing is observation-only either way."""
+        events_none = self._run(None).sim.executed
+        events_stub = self._run(_CountingStub()).sim.executed
+        assert events_none == events_stub

@@ -22,8 +22,16 @@ from repro.sim.engine import HeapSimulator, MS, US
 
 #: SHA-256 of the (time, seq, callback-name) event sequence of the
 #: workload below.  Re-pin deliberately, never to "make the test pass".
-GOLDEN_SHA256 = ("98f913fc63872e4962c8afeb154a41ba"
-                 "9c2f3c56deeb7685ee5e097dcdc056e9")
+#: Re-pinned for the batched-dispatch PR: packet deliveries now dispatch
+#: straight into the peer's ``receive`` via ``fire2`` (traced callback
+#: name changed from ``Port._deliver`` to ``Switch.receive``/
+#: ``Rnic.receive`` at the same (time, seq)), and the sender RTO timer
+#: became lazy (one calendar event per RTO span instead of a
+#: cancel+schedule per ACK, shifting ``seq`` allocation).  Flow
+#: completion times and RNG substreams are unchanged; both engines agree
+#: on the new sequence (see test_engines_execute_identical_sequences).
+GOLDEN_SHA256 = ("3e949d77f60f1f9f89739d5d2c8f4b3f"
+                 "aae3738fc533b31810b3f6397977230e")
 
 
 def _run_traced(sim):
