@@ -13,6 +13,8 @@ Subcommands mirror the paper's experiments:
 * ``trace``       — traced lossy alltoall + NACK-decision causality audit
   (``--perfetto`` exports a Chrome/Perfetto trace).
 * ``profile``     — wall-time histogram per event-handler type.
+* ``arena``       — LB-policy head-to-head ranking across workloads,
+  topologies, and transports (``--quick`` = the CI smoke grid).
 
 Global output flags: ``--quiet`` suppresses progress/info chatter and
 ``--json`` replaces the human-readable output with one machine-readable
@@ -227,6 +229,47 @@ def build_parser() -> argparse.ArgumentParser:
                           help="declarative scenario JSON file")
     show_src.add_argument("--name", metavar="SCENARIO",
                           help="builtin scenario name")
+
+    arn = sub.add_parser("arena", parents=[out_flags],
+                         help="LB policy head-to-head ranking "
+                              "(baseline zoo arena)")
+    arn.add_argument("--quick", action="store_true",
+                     help="8-NIC fabrics, small messages; CI smoke mode")
+    arn.add_argument("--lbs", default=None,
+                     help="comma-separated LB policies "
+                          "(default: the full zoo)")
+    arn.add_argument("--transports", default=None,
+                     help="comma-separated arena transports "
+                          "(commodity,themis)")
+    arn.add_argument("--ccs", default=None,
+                     help="comma-separated CC settings (dcqcn,fixed; "
+                          "default dcqcn)")
+    arn.add_argument("--workloads", default=None,
+                     help="comma-separated workloads "
+                          "(alltoall,incast,allreduce)")
+    arn.add_argument("--topos", default=None,
+                     help="comma-separated topology presets "
+                          "(leaf_spine,fat_tree,dragonfly)")
+    arn.add_argument("--seeds", type=int, default=1,
+                     help="number of seeds per cell")
+    arn.add_argument("--seed-base", type=int, default=1,
+                     help="first seed value")
+    arn.add_argument("--bytes", type=int, default=None,
+                     help="message bytes per workload (default: preset)")
+    arn.add_argument("--deadline-us", type=float, default=None,
+                     help="per-cell sim-time budget (default: preset)")
+    arn.add_argument("--workers", type=int, default=1,
+                     help="parallel worker subprocesses (1 = serial)")
+    arn.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="per-cell wall timeout (workers > 1 only)")
+    arn.add_argument("--retries", type=int, default=2,
+                     help="retries per cell on crash/timeout")
+    arn.add_argument("--resume", metavar="PATH", default=None,
+                     help="JSONL checkpoint for resume")
+    arn.add_argument("--out", metavar="PATH", default=None,
+                     help="write the arena document as JSON")
+    arn.add_argument("--progress", action="store_true",
+                     help="print per-cell progress lines")
 
     prof = sub.add_parser("profile", parents=[out_flags],
                           help="wall-time histogram per event-handler "
@@ -638,6 +681,57 @@ def cmd_faults(args: argparse.Namespace, console: Console) -> int:
     return 0 if ok else 1
 
 
+def cmd_arena(args: argparse.Namespace, console: Console) -> int:
+    from repro.harness import arena
+    from repro.harness.metrics import JobCounters
+
+    def csv(value: Optional[str], default: Sequence[str]) -> tuple:
+        if value is None:
+            return tuple(default)
+        return tuple(v.strip() for v in value.split(",") if v.strip())
+
+    lbs = csv(args.lbs, arena.LB_POLICIES)
+    transports = csv(args.transports, arena.ARENA_TRANSPORTS)
+    ccs = csv(args.ccs, ("dcqcn",))
+    workloads = csv(args.workloads, arena.WORKLOADS)
+    presets = (arena.QUICK_TOPOLOGIES if args.quick
+               else arena.FULL_TOPOLOGIES)
+    topo_names = csv(args.topos, tuple(presets))
+    unknown = [t for t in topo_names if t not in presets]
+    if unknown:
+        console.out(f"error: unknown topology preset(s) {unknown}; "
+                    f"known: {sorted(presets)}")
+        return 2
+    topologies = {name: presets[name] for name in topo_names}
+    seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
+    counters = JobCounters()
+    n_cells = (len(lbs) * len(transports) * len(ccs) * len(workloads)
+               * len(topologies) * len(seeds))
+    console.info(f"arena: {len(lbs)} LBs x {len(transports)} transports "
+                 f"x {len(ccs)} cc x {len(workloads)} workloads x "
+                 f"{len(topologies)} topologies x {len(seeds)} seeds "
+                 f"= {n_cells} cells (workers={args.workers})")
+    doc = arena.run_arena(
+        workers=args.workers, timeout_s=args.timeout,
+        retries=args.retries, checkpoint=args.resume, counters=counters,
+        progress=console.progress_printer() if args.progress else None,
+        lbs=lbs, transports=transports, ccs=ccs, workloads=workloads,
+        topologies=topologies, seeds=seeds, quick=args.quick,
+        message_bytes=args.bytes, deadline_us=args.deadline_us)
+    console.out(arena.render_arena_table(doc))
+    incomplete = [c for c in doc["cells"] if not c["completed"]]
+    if incomplete:
+        console.out(f"{len(incomplete)}/{len(doc['cells'])} cells "
+                    f"did not complete before the deadline")
+    console.info(f"jobs: {counters}")
+    if args.out:
+        from repro.harness.report import write_json
+        path = write_json(args.out, doc)
+        console.out(f"wrote {path}")
+    console.result(doc)
+    return 0 if not incomplete else 1
+
+
 COMMANDS = {
     "memory": cmd_memory,
     "bench": cmd_bench,
@@ -649,6 +743,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "profile": cmd_profile,
     "faults": cmd_faults,
+    "arena": cmd_arena,
 }
 
 

@@ -184,11 +184,17 @@ def _exec_fault_cell(params: dict, seed: int) -> dict:
     return run_cell(params, seed)
 
 
+def _exec_arena_cell(params: dict, seed: int) -> dict:
+    from repro.harness.arena import run_arena_cell
+    return run_arena_cell(params, seed)
+
+
 JOB_KINDS: dict[str, Callable[[dict, int], dict]] = {
     "collective": _exec_collective,
     "callable": _exec_callable,
     "bench": _exec_bench,
     "fault_cell": _exec_fault_cell,
+    "arena_cell": _exec_arena_cell,
 }
 
 

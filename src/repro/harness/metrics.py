@@ -149,6 +149,11 @@ class Metrics:
         # packet drop so the sender can schedule a clean retransmission.
         self.drop_listeners: list[Callable[[Packet], None]] = []
 
+        # ACK-generation hook: called with (flow, cumulative epsn) every
+        # time a receiver emits an ACK.  REPS entropy recycling rides
+        # this (see repro.switch.lb.RepsLB); empty list = free.
+        self.ack_listeners: list[Callable[[FlowKey, int], None]] = []
+
         # Observability recorder of the run, attached by Network when
         # tracing is on; summary() then surfaces its per-event counts.
         self.recorder = None
@@ -209,8 +214,10 @@ class Metrics:
     def on_nack_generated(self, flow: FlowKey) -> None:
         self.nacks_generated += 1
 
-    def on_ack_generated(self, flow: FlowKey) -> None:
+    def on_ack_generated(self, flow: FlowKey, epsn: int = 0) -> None:
         self.acks_generated += 1
+        for listener in self.ack_listeners:
+            listener(flow, epsn)
 
     def on_cnp_generated(self, flow: FlowKey) -> None:
         self.cnps_generated += 1

@@ -14,7 +14,16 @@ Supported schemes (``NetworkConfig.scheme``):
 ``themis``                PSN spraying + NACK validation + compensation
 ``themis_noval``          Themis-S spraying only (ablation: commodity NACKs)
 ``themis_nocomp``         validation without compensation (ablation)
+``reps``                  recycled-entropy spraying (baseline zoo)
+``prime``                 multi-part entropy selection (baseline zoo)
+``spritz``                path-aware spraying (baseline zoo)
+``sprinklers``            variable-size striping (baseline zoo)
 ========================  ====================================================
+
+``NetworkConfig.themis_overlay`` composes the Themis-D NACK-validation
+middleware with *any* non-Themis LB scheme — the arena's "themis"
+transport axis, measuring what in-network NACK filtering buys each
+spraying policy.
 """
 
 from __future__ import annotations
@@ -31,7 +40,7 @@ from repro.harness.metrics import Metrics
 from repro.net.packet import FlowKey, Packet
 from repro.obs import record as obs_record
 from repro.obs.record import Recorder
-from repro.net.topology import Topology, fat_tree, leaf_spine
+from repro.net.topology import Topology, dragonfly, fat_tree, leaf_spine
 from repro.rnic.config import RnicConfig
 from repro.rnic.nic import Rnic
 from repro.sim.engine import US, Simulator
@@ -39,7 +48,8 @@ from repro.sim.rng import SimRng
 from repro.switch.buffer import SharedBuffer
 from repro.switch.ecn import EcnConfig, EcnMarker
 from repro.switch.lb import (AdaptiveRoutingLB, EcmpLB, FlowletLB,
-                             RandomSprayLB)
+                             PrimeLB, RandomSprayLB, RepsLB,
+                             SprinklersLB, SpritzLB)
 from repro.switch.pfc import PfcConfig, PfcController
 from repro.switch.switch import Switch
 from repro.themis.config import ThemisConfig
@@ -48,7 +58,8 @@ from repro.themis.pathmap import build_pathmap
 from repro.themis.source import ThemisSource
 
 SCHEMES = ("ecmp", "rps", "ar", "flowlet", "themis", "themis_noval",
-           "themis_nocomp", "conweave", "conweave_spray")
+           "themis_nocomp", "conweave", "conweave_spray",
+           "reps", "prime", "spritz", "sprinklers")
 TRANSPORTS = ("nic_sr", "gbn", "ideal", "mp_rdma")
 
 #: Delay before the Ideal transport's oracle notifies the sender of a drop
@@ -60,16 +71,22 @@ ORACLE_NOTIFY_NS = 10 * US
 class TopologySpec:
     """Declarative topology selection."""
 
-    kind: str = "leaf_spine"            # or "fat_tree"
+    kind: str = "leaf_spine"            # or "fat_tree" / "dragonfly"
     num_tors: int = 4
     num_spines: int = 4
     nics_per_tor: int = 2
     fat_tree_k: int = 4
+    # Dragonfly dimensions (kind="dragonfly"); defaults give an 8-NIC
+    # fabric that satisfies groups-1 <= routers * global_links.
+    df_groups: int = 4
+    df_routers: int = 2
+    df_hosts: int = 1
+    df_global_links: int = 2
     link_bandwidth_bps: float = 100e9
     link_delay_ns: int = US
 
     def __post_init__(self) -> None:
-        if self.kind not in ("leaf_spine", "fat_tree"):
+        if self.kind not in ("leaf_spine", "fat_tree", "dragonfly"):
             raise ValueError(f"unknown topology kind {self.kind!r}")
 
 
@@ -90,6 +107,10 @@ class NetworkConfig:
     pfc: Optional[PfcConfig] = None
     #: Flowlet inactivity gap for scheme="flowlet" (§2.3 baseline).
     flowlet_gap_ns: int = 50 * US
+    #: Install the Themis-D NACK-validation middleware on every ToR even
+    #: for non-Themis schemes (no PSN spraying at the source) — the
+    #: arena's "themis transport" axis.  Ignored for themis*/conweave*.
+    themis_overlay: bool = False
     #: Settings for the conweave / conweave_spray baselines (§2.3).
     conweave: ConweaveConfig = field(default_factory=ConweaveConfig)
     seed: int = 1
@@ -121,6 +142,9 @@ class Network:
         self.recorder = recorder
         self.rng = SimRng(config.seed)
         self.metrics = Metrics(self.sim)
+        #: Every RepsLB instance built by _make_lb (populated during
+        #: topology construction, so it must exist before it).
+        self._reps_lbs: list[RepsLB] = []
         self.topology = self._build_topology()
         self.nics = self._build_nics()
         self.topology.build_routes()
@@ -128,6 +152,10 @@ class Network:
             self._install_themis()
         elif config.scheme.startswith("conweave"):
             self._install_conweave()
+        elif config.themis_overlay:
+            self._install_themis_overlay()
+        if self._reps_lbs:
+            self.metrics.ack_listeners.append(self._reps_recycle)
         if config.transport == "ideal":
             self.metrics.drop_listeners.append(self._oracle_drop)
         elif config.transport == "mp_rdma":
@@ -152,6 +180,17 @@ class Network:
         if scheme == "flowlet":
             return FlowletLB(self.rng.fork(f"fl-{name}"),
                              gap_ns=self.config.flowlet_gap_ns)
+        if scheme == "reps":
+            lb = RepsLB(self.rng.fork(f"reps-{name}"))
+            self._reps_lbs.append(lb)
+            return lb
+        if scheme == "prime":
+            return PrimeLB()
+        if scheme == "spritz":
+            return SpritzLB(self.rng.fork(f"spz-{name}"),
+                            mtu_bytes=self.config.rnic.mtu_bytes)
+        if scheme == "sprinklers":
+            return SprinklersLB()
         # ECMP for both the ecmp scheme and as the non-sprayed fallback in
         # themis modes (Themis-S overrides selection where it applies).
         return EcmpLB()
@@ -175,6 +214,15 @@ class Network:
                 self.sim, self._switch_factory,
                 num_tors=spec.num_tors, num_spines=spec.num_spines,
                 nics_per_tor=spec.nics_per_tor,
+                link_bandwidth_bps=spec.link_bandwidth_bps,
+                link_delay_ns=spec.link_delay_ns)
+        if spec.kind == "dragonfly":
+            return dragonfly(
+                self.sim, self._switch_factory,
+                groups=spec.df_groups,
+                routers_per_group=spec.df_routers,
+                hosts_per_router=spec.df_hosts,
+                global_links_per_router=spec.df_global_links,
                 link_bandwidth_bps=spec.link_bandwidth_bps,
                 link_delay_ns=spec.link_delay_ns)
         return fat_tree(self.sim, self._switch_factory, k=spec.fat_tree_k,
@@ -257,6 +305,26 @@ class Network:
                 self._themis_cfg, self.metrics,
                 pathmap_provider=provider))
 
+    def _install_themis_overlay(self) -> None:
+        """Themis-D validation over a non-Themis LB scheme.
+
+        No source-side PSN spraying is installed, so Eq. 1's path
+        inference runs against whatever reordering the configured LB
+        produces — the arena's "themis transport" axis.
+        """
+        self._themis_cfg = self.config.themis
+        for tor in self.topology.tors:
+            tor.add_middleware(ThemisDest(
+                self._themis_cfg, self.metrics,
+                n_paths_for=self._n_paths_for,
+                queue_capacity_for=self._queue_capacity_for))
+
+    def _reps_recycle(self, flow: FlowKey, epsn: int) -> None:
+        """Metrics ack_listeners hook: fan one cumulative ACK out to
+        every REPS instance (each keeps only state for flows it saw)."""
+        for lb in self._reps_lbs:
+            lb.on_ack(flow, epsn)
+
     def _install_conweave(self) -> None:
         """§2.3 baseline: in-order delivery enforced at the dst ToR.
 
@@ -323,6 +391,11 @@ class Network:
         surfaces as accounted drops, not as a harness error.
         """
         self.topology.build_routes()
+        # REPS failure handling: reconvergence is the moment cached
+        # entropies pointing at dead egresses get purged (§ REPS;
+        # FaultInjector calls this on every link/switch transition).
+        for lb in self._reps_lbs:
+            lb.evict_dead()
         if not require_connected:
             return
         for tor in self.topology.tors:

@@ -285,3 +285,65 @@ def fat_tree(sim: Simulator, switch_factory: SwitchFactory, *, k: int,
                                        link_delay_ns)
                 nic_id += 1
     return topo
+
+
+def dragonfly(sim: Simulator, switch_factory: SwitchFactory, *,
+              groups: int, routers_per_group: int, hosts_per_router: int,
+              global_links_per_router: int = 1,
+              link_bandwidth_bps: float, link_delay_ns: int = US,
+              host_bandwidth_bps: Optional[float] = None,
+              host_delay_ns: Optional[int] = None) -> Topology:
+    """Canonical dragonfly: complete graph inside each group, one (or
+    more) global links between every group pair.
+
+    The low-diameter habitat path-aware LBs (Spritz) target: minimal
+    routes often have *one* candidate per hop while non-minimal/valiant
+    diversity hides behind unequal path quality, so the interesting LB
+    decisions happen at the few multi-candidate hops (source router,
+    group gateways) where backlog state matters more than uniformity.
+
+    Every router is a ToR (hosts attach to all routers).  NIC ids are
+    ``(group * routers_per_group + router) * hosts_per_router + slot``.
+    Group pair ``x < y`` is wired from router ``(y-1) // g`` of group
+    ``x`` to router ``x // g`` of group ``y`` (``g`` = global links per
+    router) — the standard palmtree arrangement, which spreads the
+    ``groups - 1`` global links of a group evenly across its routers.
+    Requires ``groups - 1 <= routers_per_group * global_links_per_router``.
+    """
+    if groups < 2:
+        raise ValueError("dragonfly needs >= 2 groups")
+    if routers_per_group < 1 or hosts_per_router < 1 \
+            or global_links_per_router < 1:
+        raise ValueError("topology dimensions must be >= 1")
+    if groups - 1 > routers_per_group * global_links_per_router:
+        raise ValueError(
+            f"{groups} groups need {groups - 1} global links per group "
+            f"but only {routers_per_group} routers x "
+            f"{global_links_per_router} global ports are available")
+    host_bandwidth_bps = host_bandwidth_bps or link_bandwidth_bps
+    host_delay_ns = host_delay_ns if host_delay_ns is not None else link_delay_ns
+
+    topo = Topology(sim, f"dragonfly-g{groups}")
+    routers = [[topo.add_switch(switch_factory(f"df{g}_{r}"), is_tor=True)
+                for r in range(routers_per_group)] for g in range(groups)]
+    # Intra-group: complete graph.
+    for group in routers:
+        for i in range(routers_per_group):
+            for j in range(i + 1, routers_per_group):
+                topo.connect_switches(group[i], group[j],
+                                      link_bandwidth_bps, link_delay_ns)
+    # Inter-group: palmtree global links.
+    glpr = global_links_per_router
+    for x in range(groups):
+        for y in range(x + 1, groups):
+            a = routers[x][((y - 1) // glpr) % routers_per_group]
+            b = routers[y][(x // glpr) % routers_per_group]
+            topo.connect_switches(a, b, link_bandwidth_bps, link_delay_ns)
+    nic_id = 0
+    for group in routers:
+        for router in group:
+            for _ in range(hosts_per_router):
+                topo.register_nic_slot(nic_id, router, host_bandwidth_bps,
+                                       host_delay_ns)
+                nic_id += 1
+    return topo

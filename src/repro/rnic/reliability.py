@@ -122,7 +122,7 @@ class ReceiverQp:
             self._ack_event.cancel()
             self._ack_event = None
         self._unacked_advance = 0
-        self.metrics.on_ack_generated(self.flow)
+        self.metrics.on_ack_generated(self.flow, self.epsn)
         # _make with the precomputed control flow == ack_packet(flow, ...)
         # minus the per-ACK FlowKey reversal.
         self.nic.transmit(_make(PacketType.ACK, self._ctrl_flow, 0,

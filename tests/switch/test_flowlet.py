@@ -75,6 +75,45 @@ class TestFlowletLB:
         assert lb._state[FlowKey(1, 9)][0] == ports.index(b)
 
 
+class TestFlowletGapSemantics:
+    """Regression pin for the documented ``last_ns`` re-stamping: the
+    inactivity gap is measured from the *previous packet*, not from the
+    flowlet's first packet (CONGA/LetFlow semantics)."""
+
+    def test_gap_measured_from_previous_packet_not_flowlet_start(self):
+        """Sub-gap spacing whose cumulative span vastly exceeds gap_ns
+        must never end the flowlet — if last_ns were stamped only at
+        flowlet start, the flowlet would expire after gap_ns of age."""
+        sim = Simulator()
+        sw, ports = make_switch(sim)
+        lb = FlowletLB(SimRng(11), gap_ns=5 * US)
+        first = lb.select(sw, data_packet(FlowKey(0, 9), 0, 100), ports)
+        # 50 packets at 2 us spacing: total span 100 us = 20x gap_ns.
+        for psn in range(1, 51):
+            sim.schedule(2 * US, lambda: None)
+            sim.run()
+            pick = lb.select(sw, data_packet(FlowKey(0, 9), psn, 100),
+                             ports)
+            assert pick is first
+        assert lb.flowlet_switches == 0
+
+    def test_single_quiet_gap_ends_the_flowlet(self):
+        """One inter-packet gap > gap_ns starts a new flowlet, which
+        lands on the now-least-loaded port and counts the switch."""
+        sim = Simulator()
+        sw, ports = make_switch(sim)
+        lb = FlowletLB(SimRng(12), gap_ns=5 * US)
+        first = lb.select(sw, data_packet(FlowKey(0, 9), 0, 100), ports)
+        sim.schedule(20 * US, lambda: None)  # > gap_ns of quiet
+        sim.run()
+        # Load the old path so the post-gap decision must move off it.
+        for i in range(10):
+            first.enqueue(data_packet(FlowKey(5, 6), i, 1000))
+        pick = lb.select(sw, data_packet(FlowKey(0, 9), 1, 100), ports)
+        assert pick is not first
+        assert lb.flowlet_switches == 1
+
+
 class TestFlowletEndToEnd:
     def test_rnic_pacing_never_splits_flowlets(self):
         """§2.3: hardware-paced RNIC streams have no gaps, so the flowlet
