@@ -40,6 +40,11 @@ DEFAULT_WORKLOAD = {
 
 RESULT_VERSION = 1
 
+#: Schema marker for the campaign output document written by
+#: ``repro faults run --out`` — the ingest format of ``repro.results``
+#: (mirrors ``repro-arena-v1`` for the arena).
+FAULTS_SCHEMA = "repro-faults-v1"
+
 
 # ----------------------------------------------------------------------
 # One cell
@@ -219,22 +224,24 @@ def campaign_specs(spec, seeds: Sequence[int]) -> list:
 
 def run_campaign(spec, seeds: Sequence[int], *, workers: int = 1,
                  timeout_s: Optional[float] = None, retries: int = 2,
-                 checkpoint: Optional[str] = None,
-                 progress=None) -> dict:
+                 checkpoint: Optional[str] = None, cache=None,
+                 counters=None, progress=None) -> dict:
     """Run every (scenario, seed) cell on the job runner; aggregate.
 
     Cells are aggregated in seed order regardless of completion order,
-    so a parallel campaign is bitwise-identical to a serial one.
+    so a parallel campaign is bitwise-identical to a serial one.  The
+    versioned document (:func:`build_faults_doc`) additionally excludes
+    the job counters, so a cache-warm re-run emits identical bytes.
     """
     from repro.harness.jobs import JobRunner
     from repro.harness.metrics import JobCounters
 
     doc = compiled_spec(spec)
     specs = campaign_specs(doc, seeds)
-    counters = JobCounters()
+    counters = counters if counters is not None else JobCounters()
     runner = JobRunner(workers=workers, timeout_s=timeout_s,
                        retries=retries, checkpoint=checkpoint,
-                       counters=counters, progress=progress)
+                       cache=cache, counters=counters, progress=progress)
     outcomes = runner.run(specs)
 
     cells, failures, problems = [], [], []
@@ -273,3 +280,77 @@ def run_campaign(spec, seeds: Sequence[int], *, workers: int = 1,
             "worst_tail_stretch": max(stretches) if stretches else None,
         }
     return summary
+
+
+# ----------------------------------------------------------------------
+# The versioned output document
+# ----------------------------------------------------------------------
+def build_faults_doc(summary: dict) -> dict:
+    """The ``repro-faults-v1`` document for a campaign summary.
+
+    Everything in the summary except ``jobs``: the job counters carry
+    wall-clock/scheduling state (retries, cache hits) that differs
+    between a cold and a cache-warm run of the same campaign, and the
+    document must be byte-identical across both.
+    """
+    doc = {"schema": FAULTS_SCHEMA,
+           "scenario": summary["scenario"],
+           "duration_us": summary["duration_us"],
+           "seeds": summary["seeds"],
+           "cells": summary["cells"],
+           "failures": summary["failures"],
+           "validation_problems": summary["validation_problems"]}
+    if "aggregate" in summary:
+        doc["aggregate"] = summary["aggregate"]
+    return doc
+
+
+_DOC_KEYS = ("schema", "scenario", "duration_us", "seeds", "cells",
+             "failures", "validation_problems")
+_DOC_CELL_KEYS = ("scenario", "seed", "completed", "tail_stretch",
+                  "goodput", "nacks")
+
+
+def validate_faults_doc(doc: dict) -> list[str]:
+    """Schema check for a ``repro-faults-v1`` document; returns problems.
+
+    Structural only: a campaign whose cells carry resilience failures is
+    still a well-formed document (those failures live in
+    ``validation_problems``), same as ``validate_arena_doc``'s split
+    between shape and outcome.
+    """
+    problems = []
+    if not isinstance(doc, dict):
+        return ["document is not an object"]
+    if doc.get("schema") != FAULTS_SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, "
+                        f"expected {FAULTS_SCHEMA!r}")
+    for key in _DOC_KEYS:
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+    if not isinstance(doc.get("scenario"), str) or not doc.get("scenario"):
+        problems.append("scenario missing or empty")
+    if not isinstance(doc.get("seeds"), list) or not doc.get("seeds"):
+        problems.append("seeds missing or empty")
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        problems.append("cells is not a list")
+        cells = []
+    for i, cell in enumerate(cells):
+        if not isinstance(cell, dict):
+            problems.append(f"cell[{i}] is not an object")
+            continue
+        missing = [k for k in _DOC_CELL_KEYS if k not in cell]
+        if missing:
+            problems.append(f"cell[{i}] missing fields: {missing}")
+            continue
+        if not isinstance(cell["goodput"], dict):
+            problems.append(f"cell[{i}].goodput is not an object")
+        if not isinstance(cell["nacks"], dict):
+            problems.append(f"cell[{i}].nacks is not an object")
+    for key in ("failures", "validation_problems"):
+        if key in doc and not isinstance(doc[key], list):
+            problems.append(f"{key} is not a list")
+    if not cells and not doc.get("failures"):
+        problems.append("document has neither cells nor failures")
+    return problems

@@ -230,6 +230,7 @@ def arena_job_specs(*, lbs: Sequence[str] = LB_POLICIES,
 
 def run_arena(*, workers: int = 1, timeout_s: Optional[float] = None,
               retries: int = 2, checkpoint: Optional[str] = None,
+              cache=None,
               counters: Optional[JobCounters] = None,
               progress: Optional[Callable[[str], None]] = None,
               **spec_kwargs) -> dict:
@@ -237,12 +238,13 @@ def run_arena(*, workers: int = 1, timeout_s: Optional[float] = None,
 
     Aggregation iterates ``specs`` in construction order and the
     document excludes wall-clock/job-counter data, so the output is
-    bitwise-identical for any worker count.
+    bitwise-identical for any worker count — and, with ``cache`` (a
+    results-store path), for a warm re-run that executes zero jobs.
     """
     specs = arena_job_specs(**spec_kwargs)
     runner = JobRunner(workers=workers, timeout_s=timeout_s,
                        retries=retries, checkpoint=checkpoint,
-                       counters=counters, progress=progress)
+                       cache=cache, counters=counters, progress=progress)
     outcomes = runner.run(specs)
     raise_on_failures(outcomes)
     return build_arena_doc(specs, outcomes)

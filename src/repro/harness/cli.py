@@ -15,6 +15,15 @@ Subcommands mirror the paper's experiments:
 * ``profile``     — wall-time histogram per event-handler type.
 * ``arena``       — LB-policy head-to-head ranking across workloads,
   topologies, and transports (``--quick`` = the CI smoke grid).
+* ``results``     — the spec-hash results store: ingest arena/faults/
+  bench documents into a queryable sqlite file, list and re-emit runs.
+* ``serve``       — zero-dependency live dashboard over a results store
+  (``--check`` renders every page headlessly for CI).
+
+``sweep``, ``arena``, and ``faults run`` accept ``--cache PATH``: a
+results store used as a read-through run cache — any cell whose
+spec-hash already has a stored result is not executed, and the re-run
+reconstructs a byte-identical output document.
 
 Global output flags: ``--quiet`` suppresses progress/info chatter and
 ``--json`` replaces the human-readable output with one machine-readable
@@ -121,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "(workers > 1 only)")
     swp.add_argument("--retries", type=int, default=2,
                      help="retries per job on worker crash/timeout")
+    swp.add_argument("--cache", metavar="DB", default=None,
+                     help="results store used as a read-through run "
+                          "cache (cells with stored results skip "
+                          "execution)")
     swp.add_argument("--progress", action="store_true",
                      help="print per-job progress lines")
 
@@ -216,8 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="retries per cell on crash/timeout")
     flt_run.add_argument("--resume", metavar="PATH", default=None,
                          help="JSONL checkpoint for resume")
+    flt_run.add_argument("--cache", metavar="DB", default=None,
+                         help="results store used as a read-through "
+                              "run cache")
     flt_run.add_argument("--out", metavar="PATH", default=None,
-                         help="write the campaign summary as JSON")
+                         help="write the repro-faults-v1 campaign "
+                              "document as JSON")
     flt_run.add_argument("--progress", action="store_true",
                          help="print per-cell progress lines")
     flt_sub.add_parser("list", parents=[out_flags],
@@ -266,6 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="retries per cell on crash/timeout")
     arn.add_argument("--resume", metavar="PATH", default=None,
                      help="JSONL checkpoint for resume")
+    arn.add_argument("--cache", metavar="DB", default=None,
+                     help="results store used as a read-through run "
+                          "cache")
     arn.add_argument("--out", metavar="PATH", default=None,
                      help="write the arena document as JSON")
     arn.add_argument("--progress", action="store_true",
@@ -284,6 +304,46 @@ def build_parser() -> argparse.ArgumentParser:
                       help="only print the N most expensive handlers")
     prof.add_argument("--out", metavar="PATH", default=None,
                       help="write the profile report as JSON")
+
+    res = sub.add_parser("results", parents=[out_flags],
+                         help="spec-hash results store "
+                              "(ingest / list / show)")
+    res_sub = res.add_subparsers(dest="results_command", required=True)
+    res_ing = res_sub.add_parser("ingest", parents=[out_flags],
+                                 help="ingest result documents into "
+                                      "the store")
+    res_ing.add_argument("paths", nargs="+", metavar="DOC",
+                         help="repro-arena-v1 / repro-faults-v1 / "
+                              "BENCH_engine.json files")
+    res_ing.add_argument("--db", default="results.sqlite",
+                         help="results store file "
+                              "(default results.sqlite)")
+    res_lst = res_sub.add_parser("list", parents=[out_flags],
+                                 help="list ingested runs + store "
+                                      "counts")
+    res_lst.add_argument("--db", default="results.sqlite")
+    res_shw = res_sub.add_parser("show", parents=[out_flags],
+                                 help="re-emit one ingested run as its "
+                                      "original document")
+    res_shw.add_argument("run_id", type=int)
+    res_shw.add_argument("--db", default="results.sqlite")
+    res_shw.add_argument("--out", metavar="PATH", default=None,
+                         help="write the re-emitted document to a file "
+                              "instead of stdout")
+
+    srv = sub.add_parser("serve", parents=[out_flags],
+                         help="live results dashboard "
+                              "(stdlib http.server)")
+    srv.add_argument("--db", default="results.sqlite",
+                     help="results store file (default results.sqlite)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8000)
+    srv.add_argument("--traces", metavar="DIR", default=None,
+                     help="directory of exported Perfetto traces "
+                          "(served at /traces/, deep-linked per cell)")
+    srv.add_argument("--check", action="store_true",
+                     help="render every page headlessly and exit "
+                          "(CI gate; no socket is opened)")
     return parser
 
 
@@ -378,7 +438,8 @@ def cmd_sweep(args: argparse.Namespace, console: Console) -> int:
     result = run_fig5_sweep(args.collective, schemes=schemes,
                             seed=args.seed, workers=args.workers,
                             timeout_s=args.timeout, retries=args.retries,
-                            checkpoint=args.resume, counters=counters,
+                            checkpoint=args.resume, cache=args.cache,
+                            counters=counters,
                             progress=console.progress_printer()
                             if args.progress else None)
     rows = []
@@ -635,14 +696,14 @@ def cmd_faults(args: argparse.Namespace, console: Console) -> int:
         return 0
 
     # run
-    from repro.faults.campaign import run_campaign
+    from repro.faults.campaign import build_faults_doc, run_campaign
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     console.info(f"campaign {spec['name']!r}: {len(spec['events'])} "
                  f"fault events x {len(seeds)} seeds "
                  f"(workers={args.workers})")
     summary = run_campaign(spec, seeds, workers=args.workers,
                            timeout_s=args.timeout, retries=args.retries,
-                           checkpoint=args.resume,
+                           checkpoint=args.resume, cache=args.cache,
                            progress=console.progress_printer()
                            if args.progress else None)
     rows = []
@@ -673,7 +734,9 @@ def cmd_faults(args: argparse.Namespace, console: Console) -> int:
                     f"{agg['unexplained_nacks']}")
     if args.out:
         from repro.harness.report import write_json
-        path = write_json(args.out, summary)
+        # The versioned ingest document: the summary minus the job
+        # counters, so a cache-warm re-run writes identical bytes.
+        path = write_json(args.out, build_faults_doc(summary))
         console.out(f"wrote {path}")
     console.result(summary)
     ok = (not summary["failures"]
@@ -713,7 +776,8 @@ def cmd_arena(args: argparse.Namespace, console: Console) -> int:
                  f"= {n_cells} cells (workers={args.workers})")
     doc = arena.run_arena(
         workers=args.workers, timeout_s=args.timeout,
-        retries=args.retries, checkpoint=args.resume, counters=counters,
+        retries=args.retries, checkpoint=args.resume, cache=args.cache,
+        counters=counters,
         progress=console.progress_printer() if args.progress else None,
         lbs=lbs, transports=transports, ccs=ccs, workloads=workloads,
         topologies=topologies, seeds=seeds, quick=args.quick,
@@ -732,6 +796,110 @@ def cmd_arena(args: argparse.Namespace, console: Console) -> int:
     return 0 if not incomplete else 1
 
 
+def cmd_results(args: argparse.Namespace, console: Console) -> int:
+    import json as _json
+
+    from repro.results import (IngestError, ResultsStore, emit_arena_doc,
+                               emit_faults_doc, ingest_file)
+
+    if args.results_command == "ingest":
+        receipts, problems = [], []
+        with ResultsStore(args.db) as store:
+            for path in args.paths:
+                try:
+                    receipt = ingest_file(store, path)
+                except (IngestError, OSError) as exc:
+                    problems.append(f"{path}: {exc}")
+                    continue
+                receipts.append({"path": path, **receipt})
+                console.out(f"ingested {path} as run "
+                            f"{receipt['run_id']} ({receipt['kind']})")
+        for problem in problems:
+            console.out(f"error: {problem}")
+        console.result({"db": args.db, "ingested": receipts,
+                        "errors": problems})
+        return 0 if not problems else 1
+
+    if args.results_command == "list":
+        from repro.results.query import list_runs
+        with ResultsStore(args.db) as store:
+            counts = store.counts()
+            runs = list_runs(store.conn)
+        rows = [(r["run_id"], r["schema"], r["name"], r["source"])
+                for r in runs]
+        console.out(format_table(["run", "schema", "name", "source"],
+                                 rows))
+        console.out(f"{counts['job_results']} cached job result(s), "
+                    f"{counts['runs']} ingested run(s)")
+        console.result({**counts, "runs": runs})
+        return 0
+
+    # show: re-emit one run as its original document
+    with ResultsStore(args.db) as store:
+        run = store.run_row(args.run_id)
+        if run is None:
+            console.out(f"error: no run {args.run_id} in {args.db}")
+            console.result({"error": f"no run {args.run_id}"})
+            return 2
+        try:
+            if run["schema"].startswith("repro-arena-"):
+                doc = emit_arena_doc(store, args.run_id)
+            elif run["schema"].startswith("repro-faults-"):
+                doc = emit_faults_doc(store, args.run_id)
+            else:
+                console.out(f"error: run {args.run_id} has schema "
+                            f"{run['schema']!r}; only arena/faults runs "
+                            "re-emit losslessly")
+                console.result({"error": "not re-emittable",
+                                "schema": run["schema"]})
+                return 2
+        except IngestError as exc:
+            console.out(f"error: {exc}")
+            console.result({"error": str(exc)})
+            return 2
+    if args.out:
+        from repro.harness.report import write_json
+        path = write_json(args.out, doc)
+        console.out(f"wrote {path}")
+    else:
+        console.out(_json.dumps(doc, indent=2))
+    console.result(doc)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace, console: Console) -> int:
+    import os as _os
+
+    if not _os.path.exists(args.db):
+        console.out(f"error: results store not found: {args.db} "
+                    "(create one with 'repro results ingest')")
+        console.result({"error": f"no store at {args.db}"})
+        return 2
+    if args.check:
+        from repro.results.server import check_pages
+        problems = check_pages(args.db, traces_dir=args.traces)
+        for problem in problems:
+            console.out(f"PAGE ERROR: {problem}")
+        console.out(f"checked dashboard pages against {args.db}: "
+                    f"{len(problems)} problem(s)")
+        console.result({"db": args.db, "problems": problems})
+        return 0 if not problems else 1
+    from repro.results.server import make_server
+    server = make_server(args.db, host=args.host, port=args.port,
+                         traces_dir=args.traces,
+                         quiet=getattr(args, "quiet", False))
+    host, port = server.server_address[:2]
+    console.info(f"serving {args.db} at http://{host}:{port}/ "
+                 "(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        console.info("stopped")
+    finally:
+        server.server_close()
+    return 0
+
+
 COMMANDS = {
     "memory": cmd_memory,
     "bench": cmd_bench,
@@ -744,6 +912,8 @@ COMMANDS = {
     "profile": cmd_profile,
     "faults": cmd_faults,
     "arena": cmd_arena,
+    "results": cmd_results,
+    "serve": cmd_serve,
 }
 
 

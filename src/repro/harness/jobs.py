@@ -277,6 +277,7 @@ class JobOutcome:
     attempts: int = 1
     elapsed_s: float = 0.0
     from_checkpoint: bool = False
+    from_cache: bool = False
 
     @property
     def ok(self) -> bool:
@@ -401,6 +402,7 @@ class JobRunner:
                  timeout_s: Optional[float] = None,
                  retries: int = 2, backoff_s: float = 0.5,
                  checkpoint: Optional[str] = None,
+                 cache=None,
                  isolation: str = "auto",
                  mp_method: Optional[str] = None,
                  counters: Optional[JobCounters] = None,
@@ -414,6 +416,12 @@ class JobRunner:
         self.retries = max(0, retries)
         self.backoff_s = backoff_s
         self.checkpoint = checkpoint
+        #: Read-through run cache: a ``repro.results`` store path (str)
+        #: or an open ``ResultsStore``.  Hits skip execution entirely;
+        #: completed results are written back in the parent process only
+        #: (the store's single-writer contract).
+        self.cache = cache
+        self._cache_store = None
         self.isolation = isolation
         self.mp_method = mp_method or _DEFAULT_MP_METHOD
         self.counters = counters if counters is not None else JobCounters()
@@ -425,7 +433,9 @@ class JobRunner:
 
         Duplicate spec-hashes are executed once.  Jobs already completed
         in the checkpoint are skipped and surfaced with
-        ``from_checkpoint=True``.
+        ``from_checkpoint=True``; jobs found in the results-store cache
+        are skipped with ``from_cache=True`` (checkpoint wins when both
+        hold a result — it is the more recent artefact of *this* sweep).
         """
         unique: dict[str, JobSpec] = {}
         for spec in specs:
@@ -435,6 +445,7 @@ class JobRunner:
         outcomes: dict[str, JobOutcome] = {}
         completed = (load_completed(self.checkpoint)
                      if self.checkpoint else {})
+        store = self._cache_handle()
         pending: list[_Attempt] = []
         for spec_hash, spec in unique.items():
             prior = completed.get(spec_hash)
@@ -442,6 +453,15 @@ class JobRunner:
                 outcomes[spec_hash] = prior
                 self.counters.skipped += 1
                 self._emit(f"skip {spec.describe()} (checkpointed)")
+                continue
+            cached = (store.get_job_result(spec_hash)
+                      if store is not None else None)
+            if cached is not None:
+                outcomes[spec_hash] = JobOutcome(
+                    spec=spec, status="done", result=cached,
+                    attempts=0, from_cache=True)
+                self.counters.cache_hits += 1
+                self._emit(f"skip {spec.describe()} (cached)")
             else:
                 pending.append(_Attempt(spec))
 
@@ -469,11 +489,31 @@ class JobRunner:
         if self.progress is not None:
             self.progress(message)
 
+    def _cache_handle(self):
+        """The open :class:`~repro.results.store.ResultsStore`, if any.
+
+        Opened lazily (and imported lazily — ``repro.results`` imports
+        back into harness modules) so runners without a cache never
+        touch sqlite.
+        """
+        if self.cache is None:
+            return None
+        if self._cache_store is None:
+            if hasattr(self.cache, "get_job_result"):
+                self._cache_store = self.cache
+            else:
+                from repro.results.store import ResultsStore
+                self._cache_store = ResultsStore(str(self.cache))
+        return self._cache_store
+
     def _record(self, outcomes: dict[str, JobOutcome],
                 outcome: JobOutcome) -> None:
         outcomes[outcome.spec.spec_hash] = outcome
         if outcome.ok:
             self.counters.completed += 1
+            store = self._cache_handle()
+            if store is not None:
+                store.put_job_result(outcome.spec, outcome.result)
         else:
             self.counters.failed += 1
         self._checkpoint_write(outcome)

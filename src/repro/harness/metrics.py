@@ -36,6 +36,8 @@ class JobCounters:
     crashes: int = 0
     #: Jobs satisfied from a resume checkpoint instead of recomputed.
     skipped: int = 0
+    #: Jobs satisfied from the spec-hash results store (run cache).
+    cache_hits: int = 0
 
     @property
     def executed(self) -> int:
@@ -48,12 +50,15 @@ class JobCounters:
                 "jobs_retried": self.retries,
                 "jobs_timed_out": self.timeouts,
                 "worker_crashes": self.crashes,
-                "jobs_skipped_from_checkpoint": self.skipped}
+                "jobs_skipped_from_checkpoint": self.skipped,
+                "jobs_cache_hits": self.cache_hits}
 
     def __str__(self) -> str:
         parts = [f"{self.completed}/{self.submitted} done"]
         if self.skipped:
             parts.append(f"{self.skipped} resumed")
+        if self.cache_hits:
+            parts.append(f"{self.cache_hits} cached")
         if self.retries:
             parts.append(f"{self.retries} retried")
         if self.timeouts:

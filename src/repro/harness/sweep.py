@@ -94,6 +94,7 @@ def run_fig5_sweep(collective: str = "allreduce", *,
                    timeout_s: Optional[float] = None,
                    retries: int = 2,
                    checkpoint: Optional[str] = None,
+                   cache=None,
                    counters: Optional[JobCounters] = None,
                    progress: Optional[Callable[[str], None]] = None
                    ) -> SweepResult:
@@ -103,7 +104,7 @@ def run_fig5_sweep(collective: str = "allreduce", *,
                             bytes_per_group=bytes_per_group, seed=seed)
     runner = JobRunner(workers=workers, timeout_s=timeout_s,
                        retries=retries, checkpoint=checkpoint,
-                       counters=counters, progress=progress)
+                       cache=cache, counters=counters, progress=progress)
     outcomes = runner.run(specs)
     raise_on_failures(outcomes)
 

@@ -7,8 +7,8 @@ Traces answer questions like "which spine did PSN 4711 take?" or "when
 did the compensated NACK for ePSN 2 go out?", and the tests use them to
 verify Eq. 1's path assignment end to end.
 
-Historically this lived in ``repro.harness.tracer``; that module is now a
-deprecated alias of this one.
+Historically this lived in ``repro.harness.tracer``; that shim has been
+removed and this module is the only home.
 """
 
 from __future__ import annotations

@@ -6,8 +6,8 @@ Experiments need traces like "sending rate over time" (Fig. 1c) and
 and reports per-window rates; :class:`RateMeter` converts byte counts into a
 bits-per-second series.
 
-This module is the canonical home of these types; ``repro.sim.trace`` is a
-deprecated alias kept for backward compatibility.
+This module is the canonical home of these types (they once lived at
+``repro.sim.trace``, removed after its deprecation window).
 """
 
 from __future__ import annotations

@@ -1,0 +1,163 @@
+"""Document ingesters: versioned result docs -> queryable rows.
+
+Three document families are understood, auto-detected by their schema
+marker:
+
+* ``repro-arena-v1``  — ``repro arena --out`` (PR 9),
+* ``repro-faults-v1`` — ``repro faults run --out``,
+* bench history       — ``BENCH_engine.json`` (``schema_version`` int),
+  normalised to the ``repro-bench-v<N>`` schema string in the store.
+
+Ingest is **validating** (a malformed document raises
+:class:`IngestError` before any row lands) and **lossless** for the
+versioned documents: per-cell/per-rank rows keep the original JSON
+fragment with its key order, and the document-level remainder lands in
+``runs.meta_json``, so :func:`emit_arena_doc` / :func:`emit_faults_doc`
+rebuild the exact bytes that came in — the round-trip property pinned
+by ``tests/results/test_store.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.results.store import ResultsStore
+
+
+class IngestError(ValueError):
+    """A document failed validation or was not a known schema."""
+
+
+def detect_doc_kind(doc: dict) -> str:
+    """``"arena"`` | ``"faults"`` | ``"bench"``, or raise."""
+    if not isinstance(doc, dict):
+        raise IngestError("document is not a JSON object")
+    schema = doc.get("schema")
+    if isinstance(schema, str) and schema.startswith("repro-arena-"):
+        return "arena"
+    if isinstance(schema, str) and schema.startswith("repro-faults-"):
+        return "faults"
+    if isinstance(doc.get("schema_version"), int) and "scenarios" in doc:
+        return "bench"
+    raise IngestError(
+        f"unrecognised document (schema={schema!r}); expected a "
+        "repro-arena-v1 / repro-faults-v1 doc or BENCH_engine.json")
+
+
+def ingest_doc(store: ResultsStore, doc: dict, *,
+               source: str = "-") -> dict:
+    """Validate + ingest one document; returns an ingest receipt."""
+    kind = detect_doc_kind(doc)
+    if kind == "arena":
+        return _ingest_arena(store, doc, source)
+    if kind == "faults":
+        return _ingest_faults(store, doc, source)
+    return _ingest_bench(store, doc, source)
+
+
+def ingest_file(store: ResultsStore, path: str) -> dict:
+    with open(path) as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise IngestError(f"{path}: not valid JSON ({exc})") from None
+    return ingest_doc(store, doc, source=str(path))
+
+
+# ----------------------------------------------------------------------
+# Arena
+# ----------------------------------------------------------------------
+def _ingest_arena(store: ResultsStore, doc: dict, source: str) -> dict:
+    from repro.harness.arena import validate_arena_doc
+    problems = [p for p in validate_arena_doc(doc)
+                if "did not complete" not in p]
+    if problems:
+        raise IngestError(f"invalid arena doc: {problems[:3]}")
+    run_id = store.insert_run(doc["schema"], "arena", source=source,
+                              meta={"axes": doc["axes"]})
+    store.insert_arena_cells(run_id, doc["cells"])
+    store.insert_arena_ranking(run_id, doc["ranking"])
+    return {"run_id": run_id, "kind": "arena",
+            "cells": len(doc["cells"]),
+            "ranking_rows": len(doc["ranking"])}
+
+
+def emit_arena_doc(store: ResultsStore, run_id: int) -> dict:
+    """Rebuild the exact ``repro-arena-v1`` document from stored rows."""
+    run = store.run_row(run_id)
+    if run is None or not run["schema"].startswith("repro-arena-"):
+        raise IngestError(f"run {run_id} is not an ingested arena run")
+    meta = json.loads(run["meta_json"])
+    cells = [json.loads(r["cell_json"]) for r in store.conn.execute(
+        "SELECT cell_json FROM arena_cells WHERE run_id=? "
+        "ORDER BY cell_order", (run_id,))]
+    ranking = [json.loads(r["row_json"]) for r in store.conn.execute(
+        "SELECT row_json FROM arena_ranking WHERE run_id=? "
+        "ORDER BY rank", (run_id,))]
+    # Key order mirrors build_arena_doc, so a plain json.dumps of this
+    # dict is byte-identical to dumping the original.
+    return {"schema": run["schema"], "axes": meta["axes"],
+            "cells": cells, "ranking": ranking}
+
+
+# ----------------------------------------------------------------------
+# Faults
+# ----------------------------------------------------------------------
+def _ingest_faults(store: ResultsStore, doc: dict, source: str) -> dict:
+    from repro.faults.campaign import validate_faults_doc
+    problems = validate_faults_doc(doc)
+    if problems:
+        raise IngestError(f"invalid faults doc: {problems[:3]}")
+    meta = {k: doc[k] for k in ("scenario", "duration_us", "seeds",
+                                "failures", "validation_problems")
+            if k in doc}
+    if "aggregate" in doc:
+        meta["aggregate"] = doc["aggregate"]
+    run_id = store.insert_run(doc["schema"], doc["scenario"],
+                              source=source, meta=meta)
+    store.insert_fault_cells(run_id, doc["cells"])
+    return {"run_id": run_id, "kind": "faults",
+            "cells": len(doc["cells"])}
+
+
+def emit_faults_doc(store: ResultsStore, run_id: int) -> dict:
+    """Rebuild the exact ``repro-faults-v1`` document from stored rows."""
+    run = store.run_row(run_id)
+    if run is None or not run["schema"].startswith("repro-faults-"):
+        raise IngestError(f"run {run_id} is not an ingested faults run")
+    meta = json.loads(run["meta_json"])
+    cells = [json.loads(r["cell_json"]) for r in store.conn.execute(
+        "SELECT cell_json FROM fault_cells WHERE run_id=? "
+        "ORDER BY cell_order", (run_id,))]
+    doc = {"schema": run["schema"],
+           "scenario": meta["scenario"],
+           "duration_us": meta["duration_us"],
+           "seeds": meta["seeds"],
+           "cells": cells,
+           "failures": meta.get("failures", []),
+           "validation_problems": meta.get("validation_problems", [])}
+    if "aggregate" in meta:
+        doc["aggregate"] = meta["aggregate"]
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Bench
+# ----------------------------------------------------------------------
+def _ingest_bench(store: ResultsStore, doc: dict, source: str) -> dict:
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, dict) or not scenarios:
+        raise IngestError("bench doc has no scenarios")
+    for name, res in scenarios.items():
+        for key in ("events", "wall_s", "events_per_sec"):
+            if key not in res:
+                raise IngestError(f"bench scenario {name!r} missing "
+                                  f"{key!r}")
+    schema = f"repro-bench-v{doc['schema_version']}"
+    # Everything except the bulky per-scenario rows rides meta_json, so
+    # the dashboard can surface cost-model fits and tracing overhead.
+    meta = {k: v for k, v in doc.items() if k != "scenarios"}
+    run_id = store.insert_run(schema, "bench", source=source, meta=meta)
+    store.insert_bench_scenarios(run_id, doc)
+    return {"run_id": run_id, "kind": "bench",
+            "scenarios": len(scenarios)}

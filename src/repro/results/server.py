@@ -1,0 +1,479 @@
+"""``repro serve`` — the live experiment dashboard.
+
+Stdlib only: a :class:`http.server.ThreadingHTTPServer` where every
+handler thread reads through its own **read-only** sqlite connection
+(``threading.local``), so concurrent page loads never contend with each
+other or with a sweep writing the store in WAL mode.
+
+Routing is a plain table of ``(pattern, renderer)`` entries; every
+renderer returns ``(status, content_type, body)``.  The same table
+drives ``repro serve --check``: :func:`check_pages` renders every page
+headlessly (no sockets) against the store and validates HTML/JSON
+shape, which is what CI's results-smoke job runs.
+
+Pages
+-----
+* ``/``                     overview tiles + latest arena ranking
+* ``/arena``                run list + ranking-over-time chart
+* ``/arena/<run_id>``       one run: ranked table + cell grid
+* ``/cell/<run_id>/<hash>`` per-cell drill-down + Perfetto deep link
+* ``/faults``               recovery / goodput-dip panels per scenario
+* ``/bench``                events/sec + cost-model trend lines
+* ``/api/...``              the JSON twins of every page
+* ``/traces/<file>``        exported Perfetto traces (``--traces`` dir)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+from urllib.parse import quote
+
+from repro.results import html as H
+from repro.results import query as Q
+from repro.results.store import connect_readonly
+
+PERFETTO_UI = "https://ui.perfetto.dev/#!/?url="
+
+
+class Dashboard:
+    """Renders every route against one store file."""
+
+    def __init__(self, db_path: str,
+                 traces_dir: Optional[str] = None) -> None:
+        self.db_path = db_path
+        self.traces_dir = traces_dir
+        self._local = threading.local()
+        self.routes: list[tuple[re.Pattern, Callable]] = [
+            (re.compile(r"^/$"), self.page_index),
+            (re.compile(r"^/healthz$"), self.page_health),
+            (re.compile(r"^/arena$"), self.page_arena),
+            (re.compile(r"^/arena/(\d+)$"), self.page_arena_run),
+            (re.compile(r"^/cell/(\d+)/([0-9a-f]+)$"), self.page_cell),
+            (re.compile(r"^/faults$"), self.page_faults),
+            (re.compile(r"^/bench$"), self.page_bench),
+            (re.compile(r"^/api/summary$"), self.api_summary),
+            (re.compile(r"^/api/arena/runs$"), self.api_arena_runs),
+            (re.compile(r"^/api/arena/(\d+)$"), self.api_arena_run),
+            (re.compile(r"^/api/ranking-over-time$"),
+             self.api_ranking_over_time),
+            (re.compile(r"^/api/cell/(\d+)/([0-9a-f]+)$"),
+             self.api_cell),
+            (re.compile(r"^/api/faults$"), self.api_faults),
+            (re.compile(r"^/api/bench$"), self.api_bench),
+            (re.compile(r"^/traces/([\w.\-]+)$"), self.serve_trace),
+        ]
+
+    # -- connection per thread -----------------------------------------
+    def conn(self):
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = connect_readonly(self.db_path)
+            self._local.conn = conn
+        return conn
+
+    # -- dispatch ------------------------------------------------------
+    def render(self, path: str,
+               host: str = "localhost") -> tuple[int, str, bytes]:
+        """Resolve one request path; never raises (500 with detail)."""
+        path = path.split("?", 1)[0]
+        for pattern, handler in self.routes:
+            match = pattern.match(path)
+            if match:
+                try:
+                    return handler(host, *match.groups())
+                except Exception as exc:  # pragma: no cover - guard
+                    return (500, "text/plain; charset=utf-8",
+                            f"internal error: {exc}".encode())
+        return (404, "text/plain; charset=utf-8", b"not found")
+
+    @staticmethod
+    def _html(body: str, status: int = 200) -> tuple[int, str, bytes]:
+        return status, "text/html; charset=utf-8", body.encode()
+
+    @staticmethod
+    def _json(doc, status: int = 200) -> tuple[int, str, bytes]:
+        return (status, "application/json",
+                json.dumps(doc, indent=2, sort_keys=True).encode())
+
+    # -- pages ---------------------------------------------------------
+    def page_health(self, host: str) -> tuple[int, str, bytes]:
+        return self._json({"ok": True, "db": self.db_path})
+
+    def page_index(self, host: str) -> tuple[int, str, bytes]:
+        conn = self.conn()
+        s = Q.summary(conn)
+        body = H.tiles([
+            ("cached job results", s["job_results"]),
+            ("ingested runs", s["runs"]),
+            ("arena runs", s["arena_runs"]),
+            ("fault runs", s["fault_runs"]),
+            ("bench runs", s["bench_runs"]),
+            ("arena cells", s["arena_cells"]),
+        ])
+        runs = Q.arena_runs(conn)
+        if runs:
+            latest = runs[-1]
+            ranking = Q.arena_ranking(conn, latest["run_id"])
+            rows = [(r["rank"],
+                     f'{H.swatch(min(i + 1, 8))}{H.esc(r["lb"])}',
+                     r["transport"], f"{r['mean_slowdown']:.3f}",
+                     f"{r['mean_goodput_gbps']:.3f}",
+                     f"{r['mean_nack_validity']:.3f}",
+                     f"{r['completed_cells']}/{r['cells']}")
+                    for i, r in enumerate(ranking)]
+            body += ("<h2>latest arena ranking "
+                     f'(<a href="/arena/{latest["run_id"]}">run '
+                     f'{latest["run_id"]}</a>)</h2>'
+                     + H.card(H.table(
+                         ["rank", "lb", "transport", "slowdown",
+                          "goodput Gbps", "nack validity", "cells"],
+                         rows, numeric=(0, 3, 4, 5, 6), raw=(1,))))
+        else:
+            body += H.card(
+                "<p>No runs ingested yet. Start with "
+                "<code>repro arena --quick --out arena.json</code> then "
+                "<code>repro results ingest --db results.sqlite "
+                "arena.json</code>.</p>")
+        return self._html(H.page(
+            "experiment results", body, active="/",
+            subtitle="spec-hash results store · "
+                     + os.path.basename(self.db_path)))
+
+    def page_arena(self, host: str) -> tuple[int, str, bytes]:
+        conn = self.conn()
+        runs = Q.arena_runs(conn)
+        over_time = Q.ranking_over_time(conn)
+        body = ""
+        if over_time["run_ids"] and over_time["series"]:
+            labels = [f"run {r}" for r in over_time["run_ids"]]
+            # Chart the best pairs only (palette slots are finite);
+            # the full per-run ranking lives in the table below.
+            top = over_time["series"][:6]
+            chart = H.line_chart(
+                labels,
+                [(f"{s['lb']}/{s['transport']}", s["slowdowns"])
+                 for s in top], y_fmt="{:.3f}")
+            body += ("<h2>mean FCT slowdown over ingested runs</h2>"
+                     + H.card(chart + (
+                         '<p class="note">top 6 (lb, transport) pairs '
+                         'by latest rank; lower is better. All '
+                         f'{len(over_time["series"])} pairs are in the '
+                         'run tables.</p>')))
+        rows = [(f'<a href="/arena/{r["run_id"]}">run {r["run_id"]}</a>',
+                 r["schema"], H.esc(r["source"]),
+                 f"{r['completed_cells']}/{r['cells']}",
+                 H.esc(f"{r['best_lb']}/{r['best_transport']}"
+                       if r["best_lb"] else "-"),
+                 ("-" if r["best_slowdown"] is None
+                  else f"{r['best_slowdown']:.3f}"))
+                for r in runs]
+        body += "<h2>ingested arena runs</h2>" + H.card(H.table(
+            ["run", "schema", "source", "cells", "best pair",
+             "best slowdown"], rows, numeric=(3, 5), raw=(0, 2, 4)))
+        return self._html(H.page("arena", body, active="/arena",
+                                 subtitle="LB x transport head-to-head "
+                                          "rankings"))
+
+    def page_arena_run(self, host: str,
+                       run_id: str) -> tuple[int, str, bytes]:
+        conn = self.conn()
+        run_id = int(run_id)
+        ranking = Q.arena_ranking(conn, run_id)
+        cells = Q.arena_cells(conn, run_id)
+        if not cells:
+            return self._html(H.page(f"arena run {run_id}",
+                                     H.card("<p>unknown run</p>")),
+                              status=404)
+        rank_rows = [(r["rank"],
+                      f'{H.swatch(min(i + 1, 8))}{H.esc(r["lb"])}',
+                      r["transport"], f"{r['mean_slowdown']:.3f}",
+                      f"{r['mean_goodput_gbps']:.3f}",
+                      f"{r['mean_reorder_rate']:.4f}",
+                      f"{r['mean_nack_validity']:.3f}",
+                      f"{r['completed_cells']}/{r['cells']}")
+                     for i, r in enumerate(ranking)]
+        body = "<h2>ranking</h2>" + H.card(H.table(
+            ["rank", "lb", "transport", "slowdown", "goodput Gbps",
+             "reorder", "nack validity", "cells"],
+            rank_rows, numeric=(0, 3, 4, 5, 6, 7), raw=(1,)))
+        cell_rows = []
+        for c in cells:
+            link = (f'<a href="/cell/{run_id}/{c["spec_hash"]}">'
+                    f'{c["spec_hash"][:10]}</a>')
+            cell_rows.append(
+                (link, c["lb"], c["transport"], c["cc"], c["workload"],
+                 c["topology"], c["seed"],
+                 "yes" if c["completed"] else "NO",
+                 f"{c['mean_slowdown']:.3f}",
+                 f"{c['goodput_gbps']:.3f}",
+                 f"{c['nack_validity']:.3f}"))
+        body += "<h2>cells</h2>" + H.card(H.table(
+            ["cell", "lb", "transport", "cc", "workload", "topology",
+             "seed", "done", "slowdown", "goodput", "validity"],
+            cell_rows, numeric=(6, 8, 9, 10), raw=(0,)))
+        return self._html(H.page(f"arena run {run_id}", body,
+                                 active="/arena"))
+
+    def page_cell(self, host: str, run_id: str,
+                  spec_hash: str) -> tuple[int, str, bytes]:
+        conn = self.conn()
+        detail = Q.cell_detail(conn, int(run_id), spec_hash)
+        if detail is None:
+            return self._html(H.page("cell", H.card("<p>unknown cell"
+                                                    "</p>")), status=404)
+        cell = detail["cell"]
+        body = H.tiles([
+            ("mean slowdown", f"{cell['mean_slowdown']:.3f}"),
+            ("goodput Gbps", f"{cell['goodput_gbps']:.3f}"),
+            ("reorder rate", f"{cell['reorder_rate']:.4f}"),
+            ("NACK validity", f"{cell['nack_validity']:.3f}"),
+        ])
+        rows = [(k, v) for k, v in cell.items()]
+        body += "<h2>cell fields</h2>" + H.card(
+            H.table(["field", "value"], rows))
+        if len(detail["history"]) > 1:
+            labels = [f"run {h['run_id']}" for h in detail["history"]]
+            body += "<h2>this cell across ingested runs</h2>" + H.card(
+                H.line_chart(labels, [
+                    ("slowdown",
+                     [h["mean_slowdown"] for h in detail["history"]])],
+                    y_fmt="{:.3f}"))
+        # Perfetto deep link: served from --traces when an exported
+        # trace named <spec_hash>.json exists there.
+        trace_name = f"{spec_hash}.json"
+        if (self.traces_dir
+                and os.path.exists(os.path.join(self.traces_dir,
+                                                trace_name))):
+            trace_url = f"http://{host}/traces/{trace_name}"
+            deep = PERFETTO_UI + quote(trace_url, safe="")
+            body += "<h2>trace</h2>" + H.card(
+                f'<p><a href="{deep}">open in Perfetto UI</a> · '
+                f'<a href="/traces/{trace_name}">raw trace JSON</a></p>')
+        else:
+            body += "<h2>trace</h2>" + H.card(
+                "<p>No exported trace for this cell. Generate one with "
+                f"<code>repro trace --perfetto traces/{trace_name}"
+                "</code> and serve with <code>--traces traces/</code>."
+                "</p>")
+        if detail["job"]:
+            body += "<h2>job spec (run cache)</h2>" + H.card(
+                "<pre>" + H.esc(json.dumps(detail["job"], indent=2,
+                                           sort_keys=True)) + "</pre>")
+        return self._html(H.page(
+            f"cell {spec_hash[:10]}", body, active="/arena",
+            subtitle=f"{cell['lb']}/{cell['transport']}/{cell['cc']}/"
+                     f"{cell['workload']}/{cell['topology']}/"
+                     f"s{cell['seed']}"))
+
+    def page_faults(self, host: str) -> tuple[int, str, bytes]:
+        conn = self.conn()
+        panels = Q.fault_panels(conn)
+        if not panels:
+            body = H.card("<p>No fault campaigns ingested. Run "
+                          "<code>repro faults run --name "
+                          "link-flap-smoke --out faults.json</code> "
+                          "then ingest it.</p>")
+        else:
+            body = ""
+            for panel in panels:
+                agg = panel["aggregate"]
+                body += f"<h2>{H.esc(panel['scenario'])}</h2>"
+                body += H.tiles([
+                    ("cells", agg["cells"]),
+                    ("completed", agg["completed"]),
+                    ("unexplained NACKs", agg["unexplained_nacks"]),
+                    ("mean recovery",
+                     "-" if agg["mean_recovery_ns"] is None
+                     else f"{agg['mean_recovery_ns'] / 1000:.1f} us"),
+                    ("worst goodput dip",
+                     "-" if agg["worst_dip_frac"] is None
+                     else f"{agg['worst_dip_frac'] * 100:.1f}%"),
+                ])
+                rows = [(c["run_id"], c["seed"],
+                         "yes" if c["completed"] else "NO",
+                         "-" if c["tail_stretch"] is None
+                         else f"{c['tail_stretch']:.3f}",
+                         "-" if c["dip_frac"] is None
+                         else f"{c['dip_frac'] * 100:.1f}%",
+                         "-" if c["recovery_ns"] is None
+                         else f"{c['recovery_ns'] / 1000:.1f}",
+                         c["unexplained"])
+                        for c in panel["cells"]]
+                body += H.card(H.table(
+                    ["run", "seed", "done", "tail stretch",
+                     "goodput dip", "recovery (us)", "unexplained"],
+                    rows, numeric=(0, 1, 3, 4, 5, 6)))
+        return self._html(H.page(
+            "fault campaigns", body, active="/faults",
+            subtitle="recovery time · goodput dip · NACK-audit "
+                     "validity"))
+
+    def page_bench(self, host: str) -> tuple[int, str, bytes]:
+        conn = self.conn()
+        data = Q.bench_series(conn)
+        if not data["run_ids"]:
+            body = H.card("<p>No bench history ingested. Ingest the "
+                          "tracked <code>BENCH_engine.json</code> or a "
+                          "nightly <code>bench-full.json</code>.</p>")
+        else:
+            labels = [f"run {r}" for r in data["run_ids"]]
+            calendar = [(s["scenario"], s["events_per_sec"])
+                        for s in data["series"]
+                        if s["engine"] == "calendar"]
+            body = "<h2>events/sec by scenario</h2>" + H.card(
+                H.line_chart(labels, calendar, y_fmt="{:,.0f}"))
+            rows = [(r["run_id"], H.esc(str(r["source"])),
+                     "quick" if r["quick"] else "full",
+                     r["python"] or "-",
+                     "-" if r["speedup_vs_heap"] is None
+                     else f"{r['speedup_vs_heap']:.2f}x",
+                     "-" if r["tracing_overhead"] is None
+                     else f"{r['tracing_overhead']:.2f}x")
+                    for r in data["runs"]]
+            body += "<h2>bench runs</h2>" + H.card(H.table(
+                ["run", "source", "mode", "python", "speedup vs heap",
+                 "tracing overhead"], rows, numeric=(0, 4, 5),
+                raw=(1,)))
+            costs = data["runs"][-1].get("cost_model_costs") or {}
+            if costs:
+                top = sorted(costs.items(), key=lambda kv: -kv[1])[:12]
+                body += ("<h2>fitted per-event-class costs "
+                         "(latest run)</h2>"
+                         + H.card(H.table(
+                             ["event class", "cost (ns)"],
+                             [(k, f"{v:,.0f}") for k, v in top],
+                             numeric=(1,))))
+        return self._html(H.page(
+            "bench history", body, active="/bench",
+            subtitle="engine throughput and cost-model trend"))
+
+    # -- API -----------------------------------------------------------
+    def api_summary(self, host: str) -> tuple[int, str, bytes]:
+        return self._json(Q.summary(self.conn()))
+
+    def api_arena_runs(self, host: str) -> tuple[int, str, bytes]:
+        return self._json({"runs": Q.arena_runs(self.conn())})
+
+    def api_arena_run(self, host: str,
+                      run_id: str) -> tuple[int, str, bytes]:
+        conn = self.conn()
+        cells = Q.arena_cells(conn, int(run_id))
+        if not cells:
+            return self._json({"error": "unknown run"}, status=404)
+        return self._json({"run_id": int(run_id), "cells": cells,
+                           "ranking": Q.arena_ranking(conn,
+                                                      int(run_id))})
+
+    def api_ranking_over_time(self,
+                              host: str) -> tuple[int, str, bytes]:
+        return self._json(Q.ranking_over_time(self.conn()))
+
+    def api_cell(self, host: str, run_id: str,
+                 spec_hash: str) -> tuple[int, str, bytes]:
+        detail = Q.cell_detail(self.conn(), int(run_id), spec_hash)
+        if detail is None:
+            return self._json({"error": "unknown cell"}, status=404)
+        return self._json(detail)
+
+    def api_faults(self, host: str) -> tuple[int, str, bytes]:
+        return self._json({"panels": Q.fault_panels(self.conn())})
+
+    def api_bench(self, host: str) -> tuple[int, str, bytes]:
+        return self._json(Q.bench_series(self.conn()))
+
+    # -- static traces -------------------------------------------------
+    def serve_trace(self, host: str,
+                    name: str) -> tuple[int, str, bytes]:
+        if not self.traces_dir:
+            return (404, "text/plain; charset=utf-8",
+                    b"no --traces directory configured")
+        path = os.path.join(self.traces_dir, name)
+        if (not os.path.abspath(path).startswith(
+                os.path.abspath(self.traces_dir) + os.sep)
+                or not os.path.exists(path)):
+            return 404, "text/plain; charset=utf-8", b"no such trace"
+        with open(path, "rb") as fh:
+            return 200, "application/json", fh.read()
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+def make_handler(dashboard: Dashboard,
+                 quiet: bool = False) -> type:
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            host = self.headers.get("Host") or "localhost"
+            status, ctype, body = dashboard.render(self.path, host=host)
+            self.send_response(status)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Cache-Control", "no-cache")
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, fmt, *args) -> None:
+            if not quiet:  # pragma: no cover - console chatter
+                super().log_message(fmt, *args)
+
+    return Handler
+
+
+def make_server(db_path: str, *, host: str = "127.0.0.1",
+                port: int = 8000, traces_dir: Optional[str] = None,
+                quiet: bool = False) -> ThreadingHTTPServer:
+    """Bound, ready-to-``serve_forever`` threaded server (port 0 OK)."""
+    dashboard = Dashboard(db_path, traces_dir=traces_dir)
+    server = ThreadingHTTPServer((host, port),
+                                 make_handler(dashboard, quiet=quiet))
+    server.dashboard = dashboard
+    return server
+
+
+# ----------------------------------------------------------------------
+# Headless check (CI)
+# ----------------------------------------------------------------------
+def check_pages(db_path: str,
+                traces_dir: Optional[str] = None) -> list[str]:
+    """Render every page/endpoint headlessly; returns problems.
+
+    Covers the static routes plus one ``/arena/<id>`` and one
+    ``/cell/...`` per ingested arena run, validating that HTML pages
+    close cleanly and the API twins parse as JSON.
+    """
+    dashboard = Dashboard(db_path, traces_dir=traces_dir)
+    conn = dashboard.conn()
+    paths = ["/", "/healthz", "/arena", "/faults", "/bench",
+             "/api/summary", "/api/arena/runs",
+             "/api/ranking-over-time", "/api/faults", "/api/bench"]
+    for run in Q.arena_runs(conn):
+        paths.append(f"/arena/{run['run_id']}")
+        paths.append(f"/api/arena/{run['run_id']}")
+        cells = Q.arena_cells(conn, run["run_id"])
+        if cells:
+            paths.append(f"/cell/{run['run_id']}/"
+                         f"{cells[0]['spec_hash']}")
+            paths.append(f"/api/cell/{run['run_id']}/"
+                         f"{cells[0]['spec_hash']}")
+    problems = []
+    for path in paths:
+        status, ctype, body = dashboard.render(path)
+        if status != 200:
+            problems.append(f"{path}: HTTP {status}")
+            continue
+        if ctype.startswith("text/html"):
+            text = body.decode()
+            if not text.startswith("<!DOCTYPE html>") \
+                    or "</html>" not in text:
+                problems.append(f"{path}: malformed HTML document")
+        elif ctype == "application/json":
+            try:
+                json.loads(body)
+            except json.JSONDecodeError as exc:
+                problems.append(f"{path}: invalid JSON ({exc})")
+    return problems

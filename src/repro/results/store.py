@@ -1,0 +1,285 @@
+"""The SQLite results store.
+
+One file (``results.sqlite`` by convention) holds two kinds of state:
+
+* **Job results** (``job_results``) — the raw payload of every completed
+  :class:`repro.harness.jobs.JobSpec`, keyed by spec-hash.  This table
+  *is* the run cache: the store's primary key and the runner's cache key
+  are the same string, so :class:`repro.harness.jobs.JobRunner` can
+  satisfy a job from here without executing anything.  Payloads are
+  stored as the same canonical JSON that travels the runner's other
+  paths (pipe, checkpoint), so a cache hit reconstructs a byte-identical
+  result.
+* **Ingested runs** (``runs`` + per-schema detail tables) — whole result
+  documents (arena rankings, fault campaigns, bench history) decomposed
+  into queryable rows for the dashboard, with enough fidelity that
+  :func:`repro.results.ingest.emit_arena_doc` can re-emit the original
+  document byte-for-byte.
+
+Concurrency model: a single writer (the runner / the ingest CLI) on one
+connection in WAL mode, any number of readers on their own read-only
+connections (:func:`connect_readonly`) — which is how the dashboard
+serves concurrent traffic with one connection per handler thread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from typing import Optional, Sequence
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS job_results (
+    spec_hash   TEXT PRIMARY KEY,
+    kind        TEXT NOT NULL,
+    seed        INTEGER NOT NULL,
+    label       TEXT NOT NULL DEFAULT '',
+    params_json TEXT NOT NULL,
+    result_json TEXT NOT NULL,
+    created_s   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS job_results_kind ON job_results(kind);
+
+CREATE TABLE IF NOT EXISTS runs (
+    run_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+    schema     TEXT NOT NULL,
+    name       TEXT NOT NULL,
+    source     TEXT NOT NULL DEFAULT '-',
+    ingested_s REAL NOT NULL,
+    meta_json  TEXT NOT NULL DEFAULT '{}'
+);
+CREATE INDEX IF NOT EXISTS runs_schema ON runs(schema);
+
+CREATE TABLE IF NOT EXISTS arena_cells (
+    run_id        INTEGER NOT NULL REFERENCES runs(run_id),
+    cell_order    INTEGER NOT NULL,
+    spec_hash     TEXT NOT NULL,
+    lb            TEXT NOT NULL,
+    transport     TEXT NOT NULL,
+    cc            TEXT NOT NULL,
+    workload      TEXT NOT NULL,
+    topology      TEXT NOT NULL,
+    seed          INTEGER NOT NULL,
+    completed     INTEGER NOT NULL,
+    mean_slowdown REAL NOT NULL,
+    goodput_gbps  REAL NOT NULL,
+    reorder_rate  REAL NOT NULL,
+    nack_validity REAL NOT NULL,
+    tail_ns       INTEGER NOT NULL,
+    cell_json     TEXT NOT NULL,
+    PRIMARY KEY (run_id, cell_order)
+);
+CREATE INDEX IF NOT EXISTS arena_cells_hash ON arena_cells(spec_hash);
+
+CREATE TABLE IF NOT EXISTS arena_ranking (
+    run_id             INTEGER NOT NULL REFERENCES runs(run_id),
+    rank               INTEGER NOT NULL,
+    lb                 TEXT NOT NULL,
+    transport          TEXT NOT NULL,
+    mean_slowdown      REAL NOT NULL,
+    mean_goodput_gbps  REAL NOT NULL,
+    mean_reorder_rate  REAL NOT NULL,
+    mean_nack_validity REAL NOT NULL,
+    row_json           TEXT NOT NULL,
+    PRIMARY KEY (run_id, rank)
+);
+
+CREATE TABLE IF NOT EXISTS fault_cells (
+    run_id       INTEGER NOT NULL REFERENCES runs(run_id),
+    cell_order   INTEGER NOT NULL,
+    scenario     TEXT NOT NULL,
+    seed         INTEGER NOT NULL,
+    completed    INTEGER NOT NULL,
+    tail_stretch REAL,
+    dip_frac     REAL,
+    recovery_ns  INTEGER,
+    unexplained  INTEGER NOT NULL,
+    cell_json    TEXT NOT NULL,
+    PRIMARY KEY (run_id, cell_order)
+);
+CREATE INDEX IF NOT EXISTS fault_cells_scenario ON fault_cells(scenario);
+
+CREATE TABLE IF NOT EXISTS bench_scenarios (
+    run_id         INTEGER NOT NULL REFERENCES runs(run_id),
+    scenario       TEXT NOT NULL,
+    engine         TEXT NOT NULL,
+    events         INTEGER NOT NULL,
+    wall_s         REAL NOT NULL,
+    events_per_sec INTEGER NOT NULL,
+    PRIMARY KEY (run_id, scenario, engine)
+);
+"""
+
+
+def _canonical(obj: object) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def connect_readonly(path: str) -> sqlite3.Connection:
+    """A read-only connection — what every dashboard thread gets.
+
+    ``mode=ro`` makes accidental writes an sqlite error rather than a
+    lock fight with the single writer.
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(f"results store not found: {path}")
+    conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+    conn.row_factory = sqlite3.Row
+    return conn
+
+
+class ResultsStore:
+    """Single-writer handle on a results database (creates the schema)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self.conn = sqlite3.connect(self.path)
+        self.conn.row_factory = sqlite3.Row
+        # WAL lets dashboard readers proceed while a sweep is writing.
+        self.conn.execute("PRAGMA journal_mode=WAL")
+        self.conn.executescript(_SCHEMA)
+        version = self.conn.execute("PRAGMA user_version").fetchone()[0]
+        if version == 0:
+            self.conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+        elif version != SCHEMA_VERSION:
+            raise RuntimeError(
+                f"{self.path}: store schema v{version}, this build "
+                f"expects v{SCHEMA_VERSION}")
+        self.conn.commit()
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self.conn.close()
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- run cache (job results) ---------------------------------------
+    def get_job_result(self, spec_hash: str) -> Optional[dict]:
+        """The cached payload for a spec-hash, or ``None`` on a miss.
+
+        The payload went through canonical JSON on the way in, so what
+        comes back is structurally identical to a fresh
+        ``execute_spec`` payload — the property the byte-identical
+        warm-run guarantee rests on.
+        """
+        row = self.conn.execute(
+            "SELECT result_json FROM job_results WHERE spec_hash=?",
+            (spec_hash,)).fetchone()
+        return None if row is None else json.loads(row["result_json"])
+
+    def put_job_result(self, spec, result: dict) -> None:
+        """Insert/refresh one completed job (spec is a ``JobSpec``)."""
+        self.conn.execute(
+            "INSERT OR REPLACE INTO job_results "
+            "(spec_hash, kind, seed, label, params_json, result_json, "
+            " created_s) VALUES (?,?,?,?,?,?,?)",
+            (spec.spec_hash, spec.kind, spec.seed, spec.label,
+             _canonical(spec.params), _canonical(result), time.time()))
+        self.conn.commit()
+
+    def job_count(self) -> int:
+        return self.conn.execute(
+            "SELECT COUNT(*) FROM job_results").fetchone()[0]
+
+    # -- ingested runs -------------------------------------------------
+    def insert_run(self, schema: str, name: str, *, source: str = "-",
+                   meta: Optional[dict] = None) -> int:
+        cur = self.conn.execute(
+            "INSERT INTO runs (schema, name, source, ingested_s, "
+            "meta_json) VALUES (?,?,?,?,?)",
+            (schema, name, source, time.time(),
+             json.dumps(meta or {})))
+        self.conn.commit()
+        return cur.lastrowid
+
+    def run_row(self, run_id: int) -> Optional[sqlite3.Row]:
+        return self.conn.execute(
+            "SELECT * FROM runs WHERE run_id=?", (run_id,)).fetchone()
+
+    def insert_arena_cells(self, run_id: int,
+                           cells: Sequence[dict]) -> None:
+        self.conn.executemany(
+            "INSERT INTO arena_cells VALUES "
+            "(?,?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+            [(run_id, i, c["spec_hash"], c["lb"], c["transport"],
+              c["cc"], c["workload"], c["topology"], c["seed"],
+              int(bool(c["completed"])), c["mean_slowdown"],
+              c["goodput_gbps"], c["reorder_rate"], c["nack_validity"],
+              c["tail_ns"], json.dumps(c))
+             for i, c in enumerate(cells)])
+        self.conn.commit()
+
+    def insert_arena_ranking(self, run_id: int,
+                             ranking: Sequence[dict]) -> None:
+        self.conn.executemany(
+            "INSERT INTO arena_ranking VALUES (?,?,?,?,?,?,?,?,?)",
+            [(run_id, r["rank"], r["lb"], r["transport"],
+              r["mean_slowdown"], r["mean_goodput_gbps"],
+              r["mean_reorder_rate"], r["mean_nack_validity"],
+              json.dumps(r))
+             for r in ranking])
+        self.conn.commit()
+
+    def insert_fault_cells(self, run_id: int,
+                           cells: Sequence[dict]) -> None:
+        self.conn.executemany(
+            "INSERT INTO fault_cells VALUES (?,?,?,?,?,?,?,?,?,?)",
+            [(run_id, i, c["scenario"], c["seed"],
+              int(bool(c["completed"])), c.get("tail_stretch"),
+              c["goodput"].get("dip_frac"),
+              c["goodput"].get("recovery_ns"),
+              c["nacks"].get("unexplained", 0), json.dumps(c))
+             for i, c in enumerate(cells)])
+        self.conn.commit()
+
+    def insert_bench_scenarios(self, run_id: int, doc: dict) -> None:
+        rows = []
+        for name, res in doc.get("scenarios", {}).items():
+            rows.append((run_id, name, res.get("engine", "calendar"),
+                         res["events"], res["wall_s"],
+                         res["events_per_sec"]))
+        heap = doc.get("heap_baseline")
+        if heap:
+            rows.append((run_id, heap["scenario"], "heap",
+                         heap["events"], heap["wall_s"],
+                         heap["events_per_sec"]))
+        tracing = doc.get("tracing")
+        if tracing:
+            rows.append((run_id, tracing["scenario"], "traced",
+                         tracing["events"], tracing["wall_s"],
+                         tracing["events_per_sec"]))
+        self.conn.executemany(
+            "INSERT INTO bench_scenarios VALUES (?,?,?,?,?,?)", rows)
+        self.conn.commit()
+
+    # -- summary -------------------------------------------------------
+    def counts(self) -> dict:
+        """Row counts per surface — the dashboard's headline tiles."""
+        q = self.conn.execute
+        return {
+            "path": self.path,
+            "job_results": q("SELECT COUNT(*) FROM job_results")
+            .fetchone()[0],
+            "runs": q("SELECT COUNT(*) FROM runs").fetchone()[0],
+            "arena_runs": q("SELECT COUNT(*) FROM runs WHERE "
+                            "schema LIKE 'repro-arena%'").fetchone()[0],
+            "fault_runs": q("SELECT COUNT(*) FROM runs WHERE "
+                            "schema LIKE 'repro-faults%'").fetchone()[0],
+            "bench_runs": q("SELECT COUNT(*) FROM runs WHERE "
+                            "schema LIKE 'repro-bench%'").fetchone()[0],
+            "arena_cells": q("SELECT COUNT(*) FROM arena_cells")
+            .fetchone()[0],
+            "fault_cells": q("SELECT COUNT(*) FROM fault_cells")
+            .fetchone()[0],
+        }

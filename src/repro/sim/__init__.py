@@ -5,7 +5,7 @@ from repro.sim.engine import (MS, NS, SEC, US, HeapSimulator,
 from repro.sim.events import Event
 from repro.sim.rng import SimRng
 # Time-series types live in the observability layer now; re-exported here
-# for compatibility (repro.sim.trace itself is deprecated).
+# because rate/series helpers are part of the sim package's public API.
 from repro.obs.timeseries import (RateMeter, TimeSeries, WindowedCounter,
                                   summarize)
 

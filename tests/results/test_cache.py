@@ -1,0 +1,146 @@
+"""Run-cache semantics: warm re-runs execute zero jobs, same bytes.
+
+The acceptance property of the results store as a cache: it must be
+*semantically invisible*.  A cold run and a cache-warm re-run of the
+same spec list produce byte-identical output documents; the only
+observable difference is the :class:`JobCounters` bookkeeping.
+"""
+
+import json
+
+from repro.faults.campaign import build_faults_doc, run_campaign
+from repro.faults.scenarios import builtin
+from repro.harness import arena
+from repro.harness.jobs import JobRunner, JobSpec, callable_target
+from repro.harness.metrics import JobCounters
+from repro.results.store import ResultsStore
+
+
+# Module-level so subprocess workers can import them by path.
+def square(seed):
+    return float(seed * seed)
+
+
+def always_raises(seed):
+    raise ValueError(f"deterministic failure for seed {seed}")
+
+
+def _spec(fn, seed, **kwargs):
+    return JobSpec(kind="callable", seed=seed,
+                   params={"target": callable_target(fn),
+                           "kwargs": kwargs})
+
+
+class TestRunnerCache:
+    def test_warm_run_executes_nothing(self, tmp_path):
+        db = str(tmp_path / "r.sqlite")
+        specs = [_spec(square, s) for s in (1, 2, 3)]
+
+        cold = JobCounters()
+        first = JobRunner(cache=db, counters=cold).run(specs)
+        assert cold.executed == 3 and cold.cache_hits == 0
+
+        warm = JobCounters()
+        second = JobRunner(cache=db, counters=warm).run(specs)
+        assert warm.executed == 0
+        assert warm.cache_hits == 3
+        assert warm.submitted == 3
+        for spec in specs:
+            a = first[spec.spec_hash]
+            b = second[spec.spec_hash]
+            assert b.from_cache and not a.from_cache
+            assert b.attempts == 0
+            assert a.result == b.result
+
+    def test_counters_summary_reports_cache_hits(self, tmp_path):
+        db = str(tmp_path / "r.sqlite")
+        JobRunner(cache=db).run([_spec(square, 1)])
+        warm = JobCounters()
+        JobRunner(cache=db, counters=warm).run([_spec(square, 1)])
+        assert warm.summary()["jobs_cache_hits"] == 1
+        assert "cached" in str(warm)
+
+    def test_partial_overlap_executes_only_new_specs(self, tmp_path):
+        db = str(tmp_path / "r.sqlite")
+        JobRunner(cache=db).run([_spec(square, s) for s in (1, 2)])
+        counters = JobCounters()
+        outcomes = JobRunner(cache=db, counters=counters).run(
+            [_spec(square, s) for s in (1, 2, 3)])
+        assert counters.cache_hits == 2
+        assert counters.executed == 1
+        assert all(o.ok for o in outcomes.values())
+
+    def test_failures_are_not_cached(self, tmp_path):
+        db = str(tmp_path / "r.sqlite")
+        spec = _spec(always_raises, 1)
+        JobRunner(cache=db, retries=0).run([spec])
+        with ResultsStore(db) as store:
+            assert store.get_job_result(spec.spec_hash) is None
+        counters = JobCounters()
+        outcomes = JobRunner(cache=db, retries=0,
+                             counters=counters).run([spec])
+        assert counters.cache_hits == 0
+        assert counters.executed == 1
+        assert not outcomes[spec.spec_hash].ok
+
+    def test_checkpoint_takes_precedence_over_cache(self, tmp_path):
+        db = str(tmp_path / "r.sqlite")
+        ckpt = str(tmp_path / "ckpt.jsonl")
+        spec = _spec(square, 4)
+        JobRunner(cache=db, checkpoint=ckpt).run([spec])
+        counters = JobCounters()
+        outcomes = JobRunner(cache=db, checkpoint=ckpt,
+                             counters=counters).run([spec])
+        out = outcomes[spec.spec_hash]
+        assert out.from_checkpoint and not out.from_cache
+        assert counters.skipped == 1 and counters.cache_hits == 0
+
+    def test_open_store_accepted_directly(self, tmp_path):
+        with ResultsStore(str(tmp_path / "r.sqlite")) as store:
+            JobRunner(cache=store).run([_spec(square, 9)])
+            counters = JobCounters()
+            JobRunner(cache=store, counters=counters).run(
+                [_spec(square, 9)])
+            assert counters.cache_hits == 1
+
+    def test_parallel_cold_run_populates_cache(self, tmp_path):
+        db = str(tmp_path / "r.sqlite")
+        specs = [_spec(square, s) for s in (1, 2, 3, 4)]
+        JobRunner(cache=db, workers=2).run(specs)
+        warm = JobCounters()
+        JobRunner(cache=db, counters=warm).run(specs)
+        assert warm.cache_hits == 4 and warm.executed == 0
+
+
+class TestArenaWarmRun:
+    def test_cold_and_warm_docs_byte_identical(self, tmp_path):
+        db = str(tmp_path / "r.sqlite")
+        kwargs = dict(
+            lbs=("ecmp",), transports=("commodity", "themis"),
+            ccs=("dcqcn",), workloads=("alltoall",),
+            topologies={
+                "leaf_spine": arena.QUICK_TOPOLOGIES["leaf_spine"]},
+            seeds=(1,), quick=True)
+        cold = JobCounters()
+        doc1 = arena.run_arena(cache=db, counters=cold, **kwargs)
+        warm = JobCounters()
+        doc2 = arena.run_arena(cache=db, counters=warm, **kwargs)
+        assert json.dumps(doc1, indent=2) == json.dumps(doc2, indent=2)
+        assert cold.executed == 2 and cold.cache_hits == 0
+        assert warm.executed == 0 and warm.cache_hits == 2
+
+
+class TestFaultCampaignWarmRun:
+    def test_cold_and_warm_docs_byte_identical(self, tmp_path):
+        db = str(tmp_path / "r.sqlite")
+        spec = builtin("link-flap-smoke").compile()
+        cold = JobCounters()
+        s1 = run_campaign(spec, [1], cache=db, counters=cold)
+        warm = JobCounters()
+        s2 = run_campaign(spec, [1], cache=db, counters=warm)
+        d1, d2 = build_faults_doc(s1), build_faults_doc(s2)
+        assert json.dumps(d1, indent=2) == json.dumps(d2, indent=2)
+        assert cold.executed == 1 and warm.executed == 0
+        assert warm.cache_hits == 1
+        # The versioned doc must exclude the cold/warm-varying counters.
+        assert "jobs" in s1 and "jobs" not in d1

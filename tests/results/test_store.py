@@ -1,0 +1,337 @@
+"""Results store: ingest -> query -> re-emit round trips.
+
+The core property: ingesting a versioned document and re-emitting it
+reconstructs the exact bytes (``json.dumps`` equality with matching
+options), for synthetic documents across the whole metric space — the
+store is lossless, not a lossy summary.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.arena import (arena_job_specs, build_arena_doc,
+                                 validate_arena_doc)
+from repro.harness.jobs import JobOutcome, JobSpec
+from repro.faults.campaign import FAULTS_SCHEMA, validate_faults_doc
+from repro.results import (IngestError, ResultsStore, detect_doc_kind,
+                           emit_arena_doc, emit_faults_doc, ingest_doc,
+                           ingest_file)
+from repro.results.store import connect_readonly
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+# ----------------------------------------------------------------------
+# Synthetic documents (valid, no simulation)
+# ----------------------------------------------------------------------
+def fake_cell_metrics(i: int, *, slowdown: float = None) -> dict:
+    return {
+        "completed": True,
+        "tail_ns": 1000 + i,
+        "mean_slowdown": (round(1.0 + 0.1 * i, 4)
+                          if slowdown is None else slowdown),
+        "goodput_gbps": round(20.0 - i, 3),
+        "reorder_rate": round(0.01 * i, 4),
+        "nack_validity": 1.0,
+        "nacks": i,
+        "drops": i,
+        "nacks_blocked": 0,
+        "retransmissions": i,
+    }
+
+
+def make_arena_doc(lbs=("ecmp", "reps"), seeds=(1,),
+                   metrics=None) -> dict:
+    """A valid ``repro-arena-v1`` document from synthetic metrics."""
+    specs = arena_job_specs(lbs=lbs, transports=("commodity",),
+                            ccs=("dcqcn",), workloads=("alltoall",),
+                            topologies={"leaf_spine": {
+                                "kind": "leaf_spine", "num_tors": 4,
+                                "num_spines": 2, "nics_per_tor": 2}},
+                            seeds=seeds, quick=True)
+    outcomes = {}
+    for i, spec in enumerate(specs):
+        result = (metrics[i] if metrics is not None
+                  else fake_cell_metrics(i))
+        outcomes[spec.spec_hash] = JobOutcome(spec=spec, status="done",
+                                              result=result)
+    doc = build_arena_doc(specs, outcomes)
+    assert validate_arena_doc(doc) == []
+    return doc
+
+
+def make_faults_doc(seeds=(1, 2)) -> dict:
+    cells = []
+    for seed in seeds:
+        cells.append({
+            "version": 1, "scenario": "synthetic-flap", "seed": seed,
+            "workload": {"nodes": 8}, "completed": True,
+            "completion_ns": 100_000 + seed,
+            "baseline_completion_ns": 90_000,
+            "tail_stretch": round(1.1 + 0.01 * seed, 6),
+            "goodput": {"window_ns": 10_000, "windows": 10,
+                        "pre_fault_gbps": 80.0, "dip_gbps": 40.0,
+                        "dip_frac": 0.5, "recovery_ns": 20_000},
+            "faults": {"scheduled": 2, "applied": 2, "first_ns": 1000,
+                       "last_ns": 2000, "converge_ns": 0,
+                       "fault_events_recorded": 2},
+            "nacks": {"decisions": 4, "unexplained": 0},
+            "drops": 3, "retransmissions": 5,
+            "baseline_drops": 0, "baseline_retransmissions": 0,
+        })
+    doc = {"schema": FAULTS_SCHEMA, "scenario": "synthetic-flap",
+           "duration_us": 200.0, "seeds": list(seeds), "cells": cells,
+           "failures": [], "validation_problems": [],
+           "aggregate": {"completed": len(cells), "cells": len(cells),
+                         "unexplained_nacks": 0,
+                         "mean_recovery_ns": 20_000,
+                         "worst_dip_frac": 0.5,
+                         "worst_tail_stretch": 1.12}}
+    assert validate_faults_doc(doc) == []
+    return doc
+
+
+def make_bench_doc() -> dict:
+    return {
+        "schema_version": 3, "quick": True, "python": "3.12.0",
+        "scenarios": {
+            "alltoall-lossy": {"scenario": "alltoall-lossy",
+                               "engine": "calendar", "events": 50_000,
+                               "wall_s": 0.5, "events_per_sec": 100_000,
+                               "sim_time_ns": 1_000_000,
+                               "completed": True}},
+        "heap_baseline": {"scenario": "alltoall-lossy", "engine": "heap",
+                          "events": 50_000, "wall_s": 1.0,
+                          "events_per_sec": 50_000},
+        "speedup_vs_heap": 2.0,
+        "tracing": {"scenario": "alltoall-lossy", "events": 50_000,
+                    "wall_s": 0.6, "events_per_sec": 83_000,
+                    "overhead_ratio": 1.2},
+    }
+
+
+def dumps(doc: dict) -> str:
+    return json.dumps(doc, indent=2)
+
+
+# ----------------------------------------------------------------------
+# Job-result cache table
+# ----------------------------------------------------------------------
+class TestJobResults:
+    def test_put_get_roundtrip_is_canonical(self, tmp_path):
+        spec = JobSpec(kind="callable", seed=3,
+                       params={"target": "m:f", "kwargs": {"b": 2, "a": 1}})
+        payload = {"value": [1.5, {"z": 1, "a": 2}]}
+        with ResultsStore(str(tmp_path / "r.sqlite")) as store:
+            assert store.get_job_result(spec.spec_hash) is None
+            store.put_job_result(spec, payload)
+            got = store.get_job_result(spec.spec_hash)
+        assert got == payload
+        # Same canonical JSON the runner's other paths produce.
+        assert json.dumps(got, sort_keys=True) == \
+            json.dumps(payload, sort_keys=True)
+
+    def test_replace_updates_in_place(self, tmp_path):
+        spec = JobSpec(kind="callable", seed=1, params={"target": "m:f"})
+        with ResultsStore(str(tmp_path / "r.sqlite")) as store:
+            store.put_job_result(spec, {"value": 1})
+            store.put_job_result(spec, {"value": 2})
+            assert store.get_job_result(spec.spec_hash) == {"value": 2}
+            assert store.job_count() == 1
+
+    def test_schema_version_mismatch_refuses(self, tmp_path):
+        path = str(tmp_path / "r.sqlite")
+        with ResultsStore(path) as store:
+            store.conn.execute("PRAGMA user_version=99")
+            store.conn.commit()
+        with pytest.raises(RuntimeError, match="schema v99"):
+            ResultsStore(path)
+
+    def test_readonly_connection_rejects_writes(self, tmp_path):
+        path = str(tmp_path / "r.sqlite")
+        ResultsStore(path).close()
+        conn = connect_readonly(path)
+        import sqlite3
+        with pytest.raises(sqlite3.OperationalError):
+            conn.execute("INSERT INTO runs (schema, name, ingested_s) "
+                         "VALUES ('x', 'y', 0)")
+
+    def test_readonly_requires_existing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            connect_readonly(str(tmp_path / "absent.sqlite"))
+
+
+# ----------------------------------------------------------------------
+# Ingest + re-emit round trips
+# ----------------------------------------------------------------------
+class TestArenaRoundTrip:
+    def test_detect(self):
+        assert detect_doc_kind(make_arena_doc()) == "arena"
+
+    def test_ingest_emit_byte_identical(self, tmp_path):
+        doc = make_arena_doc(lbs=("ecmp", "reps", "rps"), seeds=(1, 2))
+        with ResultsStore(str(tmp_path / "r.sqlite")) as store:
+            receipt = ingest_doc(store, doc, source="test")
+            out = emit_arena_doc(store, receipt["run_id"])
+        assert dumps(out) == dumps(doc)
+        assert receipt["cells"] == len(doc["cells"])
+
+    def test_ingest_file(self, tmp_path):
+        doc = make_arena_doc()
+        path = tmp_path / "arena.json"
+        path.write_text(dumps(doc))
+        with ResultsStore(str(tmp_path / "r.sqlite")) as store:
+            receipt = ingest_file(store, str(path))
+            assert dumps(emit_arena_doc(store, receipt["run_id"])) \
+                == dumps(doc)
+
+    def test_incomplete_cells_still_ingest(self, tmp_path):
+        # validate_arena_doc flags censored cells as problems, but an
+        # incomplete cell is data, not corruption — ingest keeps it.
+        doc = make_arena_doc()
+        doc["cells"][0]["completed"] = False
+        with ResultsStore(str(tmp_path / "r.sqlite")) as store:
+            receipt = ingest_doc(store, doc)
+            assert dumps(emit_arena_doc(store, receipt["run_id"])) \
+                == dumps(doc)
+
+    def test_malformed_doc_rejected_before_any_row(self, tmp_path):
+        doc = make_arena_doc()
+        del doc["cells"][0]["spec_hash"]
+        with ResultsStore(str(tmp_path / "r.sqlite")) as store:
+            with pytest.raises(IngestError):
+                ingest_doc(store, doc)
+            assert store.counts()["runs"] == 0
+            assert store.counts()["arena_cells"] == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                  allow_infinity=False),
+        min_size=2, max_size=2))
+    def test_roundtrip_property_over_metric_space(self, tmp_path_factory,
+                                                  slowdowns):
+        """Any finite metric values survive ingest->emit exactly (JSON
+        float round-trips are lossless)."""
+        metrics = [fake_cell_metrics(i, slowdown=s)
+                   for i, s in enumerate(slowdowns)]
+        doc = make_arena_doc(lbs=("ecmp", "reps"), metrics=metrics)
+        tmp = tmp_path_factory.mktemp("prop")
+        with ResultsStore(str(tmp / "r.sqlite")) as store:
+            receipt = ingest_doc(store, doc)
+            out = emit_arena_doc(store, receipt["run_id"])
+        assert dumps(out) == dumps(doc)
+
+
+class TestFaultsRoundTrip:
+    def test_detect(self):
+        assert detect_doc_kind(make_faults_doc()) == "faults"
+
+    def test_ingest_emit_byte_identical(self, tmp_path):
+        doc = make_faults_doc(seeds=(1, 2, 3))
+        with ResultsStore(str(tmp_path / "r.sqlite")) as store:
+            receipt = ingest_doc(store, doc, source="test")
+            out = emit_faults_doc(store, receipt["run_id"])
+        assert dumps(out) == dumps(doc)
+
+    def test_validate_faults_doc_catches_shape_errors(self):
+        doc = make_faults_doc()
+        del doc["cells"][0]["goodput"]
+        assert any("missing fields" in p
+                   for p in validate_faults_doc(doc))
+        assert validate_faults_doc({"schema": "nope"})
+        assert validate_faults_doc([1, 2]) == ["document is not an object"]
+
+
+class TestBenchIngest:
+    def test_detect(self):
+        assert detect_doc_kind(make_bench_doc()) == "bench"
+
+    def test_ingest_normalises_schema_and_rows(self, tmp_path):
+        with ResultsStore(str(tmp_path / "r.sqlite")) as store:
+            receipt = ingest_doc(store, make_bench_doc())
+            run = store.run_row(receipt["run_id"])
+            assert run["schema"] == "repro-bench-v3"
+            engines = {r["engine"] for r in store.conn.execute(
+                "SELECT engine FROM bench_scenarios WHERE run_id=?",
+                (receipt["run_id"],))}
+        # scenario row + heap baseline + traced run
+        assert engines == {"calendar", "heap", "traced"}
+
+    def test_tracked_bench_history_ingests(self, tmp_path):
+        """The repo's real BENCH_engine.json is a valid ingest source."""
+        path = os.path.join(REPO_ROOT, "BENCH_engine.json")
+        with ResultsStore(str(tmp_path / "r.sqlite")) as store:
+            receipt = ingest_file(store, path)
+            assert receipt["kind"] == "bench"
+            assert receipt["scenarios"] >= 1
+
+    def test_unknown_doc_rejected(self, tmp_path):
+        with pytest.raises(IngestError, match="unrecognised"):
+            detect_doc_kind({"schema": "wat-v9"})
+        with ResultsStore(str(tmp_path / "r.sqlite")) as store:
+            with pytest.raises(IngestError):
+                ingest_doc(store, {"hello": 1})
+
+
+# ----------------------------------------------------------------------
+# Query layer over a populated store
+# ----------------------------------------------------------------------
+class TestQueries:
+    @pytest.fixture()
+    def conn(self, tmp_path):
+        path = str(tmp_path / "r.sqlite")
+        with ResultsStore(path) as store:
+            ingest_doc(store, make_arena_doc(), source="a1")
+            ingest_doc(store, make_arena_doc(), source="a2")
+            ingest_doc(store, make_faults_doc(), source="f1")
+            ingest_doc(store, make_bench_doc(), source="b1")
+        return connect_readonly(path)
+
+    def test_summary_counts(self, conn):
+        from repro.results.query import summary
+        s = summary(conn)
+        assert s["arena_runs"] == 2
+        assert s["fault_runs"] == 1
+        assert s["bench_runs"] == 1
+
+    def test_ranking_over_time_aligns_runs(self, conn):
+        from repro.results.query import ranking_over_time
+        data = ranking_over_time(conn)
+        assert len(data["run_ids"]) == 2
+        for series in data["series"]:
+            assert len(series["ranks"]) == 2
+            assert series["latest_rank"] == series["ranks"][-1]
+        # Identical docs -> identical ranks across both runs.
+        assert [s["ranks"][0] for s in data["series"]] == \
+            [s["ranks"][1] for s in data["series"]]
+
+    def test_cell_detail_history_spans_runs(self, conn):
+        from repro.results.query import arena_cells, cell_detail
+        cells = arena_cells(conn, 1)
+        detail = cell_detail(conn, 1, cells[0]["spec_hash"])
+        assert detail["cell"] == cells[0]
+        assert [h["run_id"] for h in detail["history"]] == [1, 2]
+        assert cell_detail(conn, 1, "0" * 16) is None
+
+    def test_fault_panels_aggregate(self, conn):
+        from repro.results.query import fault_panels
+        panels = fault_panels(conn)
+        assert len(panels) == 1
+        agg = panels[0]["aggregate"]
+        assert agg["cells"] == 2
+        assert agg["unexplained_nacks"] == 0
+        assert agg["mean_recovery_ns"] == 20_000
+
+    def test_bench_series(self, conn):
+        from repro.results.query import bench_series
+        data = bench_series(conn)
+        assert len(data["run_ids"]) == 1
+        keys = {(s["scenario"], s["engine"]) for s in data["series"]}
+        assert ("alltoall-lossy", "calendar") in keys
+        assert data["runs"][0]["tracing_overhead"] == 1.2
